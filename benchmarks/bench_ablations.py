@@ -1,0 +1,14 @@
+"""Ablation bench: queue design, engine agreement, switch-cost sweep."""
+
+from conftest import run_once
+from repro.experiments import ablations as mod
+
+
+def test_ablations(benchmark):
+    res = run_once(benchmark, lambda: mod.run(mod.Config.scaled(), seed=0))
+    penalties = mod.cfs_penalty_by_cost(res)
+    benchmark.extra_info["cfs_penalty_by_ctx_cost"] = {
+        str(k): round(v, 2) for k, v in penalties.items()
+    }
+    print()
+    print(mod.render(res))

@@ -1,0 +1,14 @@
+"""Extension bench: dollar overcharges per scheduler."""
+
+from conftest import run_once
+from repro.experiments import ext_billing as mod
+
+
+def test_ext_billing(benchmark):
+    res = run_once(benchmark, lambda: mod.run(mod.Config.scaled(), seed=0))
+    hi = max(res.config.loads)
+    benchmark.extra_info["overcharge_ratio"] = {
+        s: round(mod.overcharge_ratio(res, hi, s), 3) for s in ("cfs", "sfs", "srtf")
+    }
+    print()
+    print(mod.render(res))

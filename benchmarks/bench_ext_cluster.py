@@ -1,0 +1,14 @@
+"""Extension bench: global placement across SFS hosts."""
+
+from conftest import run_once
+from repro.experiments import ext_cluster as mod
+
+
+def test_ext_cluster(benchmark):
+    res = run_once(benchmark, lambda: mod.run(mod.Config.scaled(), seed=0))
+    benchmark.extra_info["long_gain"] = {
+        p: round(mod.long_tail_gain(res, p), 2)
+        for p in res.runs if p != "round_robin"
+    }
+    print()
+    print(mod.render(res))

@@ -1,0 +1,14 @@
+"""Extension bench: keep-alive TTL vs cold starts vs the SFS benefit."""
+
+from conftest import run_once
+from repro.experiments import ext_coldstart as mod
+
+
+def test_ext_coldstart(benchmark):
+    res = run_once(benchmark, lambda: mod.run(mod.Config.scaled(), seed=0))
+    benchmark.extra_info["cold_rates"] = {
+        ("prewarmed" if t is None else f"{t/1e6:g}s"): round(mod.cold_rate(res, t), 3)
+        for t in mod.Config.scaled().keep_alive_ttls
+    }
+    print()
+    print(mod.render(res))

@@ -1,0 +1,13 @@
+"""Extension bench: SFS over CFS vs over EEVDF (fair-class agnostic)."""
+
+from conftest import run_once
+from repro.experiments import ext_eevdf as mod
+
+
+def test_ext_eevdf(benchmark):
+    res = run_once(benchmark, lambda: mod.run(mod.Config.scaled(), seed=0))
+    benchmark.extra_info["sfs_speedup"] = {
+        fair: round(mod.sfs_speedup(res, fair), 2) for fair in res.runs
+    }
+    print()
+    print(mod.render(res))

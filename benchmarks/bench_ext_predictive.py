@@ -1,0 +1,11 @@
+"""Extension bench: size-based PredictiveSFS vs SFS vs the oracle."""
+
+from conftest import run_once
+from repro.experiments import ext_predictive as mod
+
+
+def test_ext_predictive(benchmark):
+    res = run_once(benchmark, lambda: mod.run(mod.Config.scaled(), seed=0))
+    benchmark.extra_info["gap_closed"] = round(mod.gap_closed(res), 3)
+    print()
+    print(mod.render(res))

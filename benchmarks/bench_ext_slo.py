@@ -1,0 +1,10 @@
+"""Extension bench: the paper's proposed stretch SLO."""
+
+from conftest import run_once
+from repro.experiments import ext_slo as mod
+
+
+def test_ext_slo(benchmark):
+    res = run_once(benchmark, lambda: mod.run(mod.Config.scaled(), seed=0))
+    print()
+    print(mod.render(res))

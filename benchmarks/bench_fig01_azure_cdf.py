@@ -1,0 +1,15 @@
+"""Fig 1 bench: regenerate the Azure duration CDF and check anchors."""
+
+from conftest import run_once
+from repro.experiments import fig01_azure_cdf as mod
+
+
+def test_fig01_azure_cdf(benchmark):
+    res = run_once(benchmark, lambda: mod.run(mod.Config.scaled(), seed=0))
+    for bound, measured, target in res.anchors:
+        assert abs(measured - target) < 0.05
+    benchmark.extra_info["anchors"] = {
+        f"<{b/1e6:g}s": round(m, 4) for b, m, _t in res.anchors
+    }
+    print()
+    print(mod.render(res))

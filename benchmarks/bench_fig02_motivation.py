@@ -1,0 +1,16 @@
+"""Fig 2 bench: FIFO/RR/CFS vs SRTF/IDEAL on the discrete engine."""
+
+from conftest import run_once
+from repro.experiments import fig02_motivation as mod
+from repro.metrics.stats import slowdown_percentiles
+
+
+def test_fig02_motivation(benchmark):
+    res = run_once(benchmark, lambda: mod.run(mod.Config.scaled(), seed=0))
+    by = res.runs[1.0]
+    means = {name: float(r.turnarounds.mean()) for name, r in by.items()}
+    assert means["srtf"] < means["cfs"] < means["fifo"]
+    sd = slowdown_percentiles(by["cfs"].turnarounds, by["srtf"].turnarounds)
+    benchmark.extra_info["cfs_vs_srtf_p40_p70"] = {k: round(v, 1) for k, v in sd.items()}
+    print()
+    print(mod.render(res))

@@ -1,0 +1,17 @@
+"""Fig 6 bench: SFS vs CFS duration CDFs across load levels."""
+
+import numpy as np
+
+from conftest import run_once
+from repro.experiments import fig06_loads as mod
+
+
+def test_fig06_loads(benchmark):
+    res = run_once(benchmark, lambda: mod.run(mod.Config.scaled(), seed=0))
+    hi = res.runs[1.0]
+    assert np.median(hi["sfs"].turnarounds) < np.median(hi["cfs"].turnarounds)
+    benchmark.extra_info["p50_ms_at_100pct"] = {
+        s: round(float(np.median(r.turnarounds)) / 1e3, 1) for s, r in hi.items()
+    }
+    print()
+    print(mod.render(res))

@@ -1,0 +1,13 @@
+"""Fig 7 bench: RTE CDFs for the load sweep."""
+
+from conftest import run_once
+from repro.experiments import fig07_rte as mod
+
+
+def test_fig07_rte(benchmark):
+    res = run_once(benchmark, lambda: mod.run(mod.Config.scaled(), seed=0))
+    rows = {(l, n): v for l, n, v, _a, _b in mod.rte_table(res)}
+    assert rows[("80%", "sfs")] > rows[("80%", "cfs")]
+    benchmark.extra_info["rte_ge_095"] = {f"{k[0]}-{k[1]}": round(v, 3) for k, v in rows.items()}
+    print()
+    print(mod.render(res))

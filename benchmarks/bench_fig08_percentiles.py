@@ -1,0 +1,11 @@
+"""Fig 8 bench: percentile breakdowns across loads."""
+
+from conftest import run_once
+from repro.experiments import fig08_percentiles as mod
+
+
+def test_fig08_percentiles(benchmark):
+    res = run_once(benchmark, lambda: mod.run(mod.Config.scaled(), seed=0))
+    benchmark.extra_info["p999_sfs_over_cfs_at_80pct"] = round(mod.tail_ratio(res, 0.8), 2)
+    print()
+    print(mod.render(res))

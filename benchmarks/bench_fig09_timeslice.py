@@ -1,0 +1,13 @@
+"""Fig 9 bench: adaptive vs static time slices."""
+
+from conftest import run_once
+from repro.experiments import fig09_timeslice as mod
+
+
+def test_fig09_timeslice(benchmark):
+    res = run_once(benchmark, lambda: mod.run(mod.Config.scaled(), seed=0))
+    means = mod.mean_turnaround(res)
+    assert min(means, key=means.get) == "adaptive"
+    benchmark.extra_info["mean_ms"] = {k: round(v / 1e3) for k, v in means.items()}
+    print()
+    print(mod.render(res))

@@ -1,0 +1,12 @@
+"""Fig 10 bench: the adaptive-slice timeline."""
+
+from conftest import run_once
+from repro.experiments import fig10_slice_timeline as mod
+
+
+def test_fig10_slice_timeline(benchmark):
+    res = run_once(benchmark, lambda: mod.run(mod.Config.scaled(), seed=0))
+    assert len(res.slice_timeline) > 5
+    benchmark.extra_info["recomputations"] = len(res.slice_timeline) - 1
+    print()
+    print(mod.render(res))

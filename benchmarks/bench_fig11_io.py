@@ -1,0 +1,13 @@
+"""Fig 11 bench: I/O handling and polling-interval sensitivity."""
+
+from conftest import run_once
+from repro.experiments import fig11_io as mod
+
+
+def test_fig11_io(benchmark):
+    res = run_once(benchmark, lambda: mod.run(mod.Config.scaled(), seed=0))
+    sens = mod.polling_sensitivity(res)
+    assert sens < 1.05
+    benchmark.extra_info["polling_sensitivity"] = round(sens, 4)
+    print()
+    print(mod.render(res))

@@ -1,0 +1,16 @@
+"""Fig 12 bench: transient-overload handling."""
+
+from conftest import run_once
+from repro.experiments import fig12_overload as mod
+
+
+def test_fig12_overload(benchmark):
+    res = run_once(benchmark, lambda: mod.run(mod.Config.scaled(), seed=0))
+    peak_h = mod.peak_queue_delay(res, "sfs")
+    peak_n = mod.peak_queue_delay(res, "sfs-no-hybrid")
+    assert peak_h < peak_n
+    benchmark.extra_info["peak_delay_ms"] = {
+        "hybrid": round(peak_h / 1e3), "no_hybrid": round(peak_n / 1e3)
+    }
+    print()
+    print(mod.render(res))

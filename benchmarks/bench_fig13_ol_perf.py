@@ -1,0 +1,13 @@
+"""Fig 13 bench: OpenLambda end-to-end duration CDFs."""
+
+from conftest import run_once
+from repro.experiments import fig13_ol_perf as mod
+
+
+def test_fig13_ol_perf(benchmark):
+    res = run_once(benchmark, lambda: mod.run(mod.Config.scaled(), seed=0))
+    r = {load: round(mod.mean_slowdown_cfs(res, load), 2) for load in res.runs}
+    assert all(v > 1.0 for v in r.values())
+    benchmark.extra_info["mean_cfs_over_sfs"] = r
+    print()
+    print(mod.render(res))

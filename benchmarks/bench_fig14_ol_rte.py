@@ -1,0 +1,10 @@
+"""Fig 14 bench: OpenLambda RTE CDFs."""
+
+from conftest import run_once
+from repro.experiments import fig14_ol_rte as mod
+
+
+def test_fig14_ol_rte(benchmark):
+    res = run_once(benchmark, lambda: mod.run(mod.Config.scaled(), seed=0))
+    print()
+    print(mod.render(res))

@@ -1,0 +1,12 @@
+"""Fig 15 bench: OpenLambda p99 speedups."""
+
+from conftest import run_once
+from repro.experiments import fig15_ol_percentiles as mod
+
+
+def test_fig15_ol_percentiles(benchmark):
+    res = run_once(benchmark, lambda: mod.run(mod.Config.scaled(), seed=0))
+    s = {load: round(mod.p99_speedup(res, load), 2) for load in res.runs}
+    benchmark.extra_info["p99_speedup"] = s
+    print()
+    print(mod.render(res))

@@ -1,0 +1,15 @@
+"""Fig 16 bench: context-switch ratio CDF."""
+
+import numpy as np
+
+from conftest import run_once
+from repro.experiments import fig16_ctx as mod
+
+
+def test_fig16_ctx(benchmark):
+    res = run_once(benchmark, lambda: mod.run(mod.Config.scaled(), seed=0))
+    r = mod.ctx_ratio(res, 1.0)
+    assert (r > 1).mean() > 0.5
+    benchmark.extra_info["frac_ratio_gt1_at_100pct"] = round(float((r > 1).mean()), 3)
+    print()
+    print(mod.render(res))

@@ -1,0 +1,15 @@
+"""Headline-claims bench: 83% improved / 1.29x penalty / 16x-24x."""
+
+from conftest import run_once
+from repro.experiments import headline as mod
+
+
+def test_headline(benchmark):
+    res = run_once(benchmark, lambda: mod.run(mod.Config.scaled(), seed=0))
+    imp = res.improvement
+    assert 0.7 < imp["fraction_improved"] < 0.97
+    benchmark.extra_info["fraction_improved"] = round(imp["fraction_improved"], 3)
+    benchmark.extra_info["mean_speedup_improved"] = round(imp["mean_speedup_improved"], 1)
+    benchmark.extra_info["mean_slowdown_rest"] = round(imp["mean_slowdown_rest"], 2)
+    print()
+    print(mod.render(res))

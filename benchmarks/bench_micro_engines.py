@@ -1,0 +1,95 @@
+"""Micro-benchmarks: simulator-kernel and substrate throughput.
+
+Unlike the per-figure benches (one round each — a whole experiment is
+the unit), these are classic multi-round micro-benchmarks guarding the
+hot paths: event-heap churn, red-black-tree ops, and per-engine
+scheduling throughput.
+"""
+
+import numpy as np
+
+from repro.machine.base import MachineParams
+from repro.machine.discrete import DiscreteMachine
+from repro.machine.fluid import FluidMachine
+from repro.sched.rbtree import RBTree
+from repro.sim.engine import Simulator
+from repro.sim.task import Burst, BurstKind, Task
+from repro.sim.units import MS
+
+
+def test_event_heap_throughput(benchmark):
+    """Schedule+fire 10k chained events."""
+
+    def run():
+        sim = Simulator()
+        remaining = [10_000]
+
+        def tick():
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                sim.schedule(1, tick)
+
+        sim.schedule(1, tick)
+        sim.run()
+        return sim.events_executed
+
+    assert benchmark(run) == 10_000
+
+
+def test_rbtree_insert_delete(benchmark):
+    """5k random inserts followed by ordered drain."""
+    rng = np.random.default_rng(0)
+    keys = rng.integers(0, 1_000_000, size=5000).tolist()
+
+    def run():
+        t = RBTree()
+        for k in keys:
+            t.insert(k)
+        n = 0
+        while t.pop_min() is not None:
+            n += 1
+        return n
+
+    assert benchmark(run) == 5000
+
+
+def _workload_tasks(n=400, seed=1):
+    rng = np.random.default_rng(seed)
+    out = []
+    at = 0
+    for _ in range(n):
+        at += int(rng.exponential(8 * MS))
+        dur = int(rng.uniform(5 * MS, 60 * MS))
+        out.append((at, dur))
+    return out
+
+
+def _drive(machine_cls):
+    specs = _workload_tasks()
+
+    def run():
+        sim = Simulator()
+        m = machine_cls(sim, MachineParams(n_cores=4))
+        tasks = []
+        for at, dur in specs:
+            task = Task(bursts=[Burst(BurstKind.CPU, dur)])
+            tasks.append(task)
+            sim.schedule_at(at, m.spawn, task)
+        sim.run()
+        assert all(t.finished for t in tasks)
+        return sim.events_executed
+
+    return run
+
+
+def test_discrete_engine_throughput(benchmark):
+    benchmark(_drive(DiscreteMachine))
+
+
+def test_fluid_engine_throughput(benchmark):
+    """The fluid engine should need far fewer events than the discrete
+    one on the same workload — that is its reason to exist."""
+    events_fluid = _drive(FluidMachine)()
+    events_discrete = _drive(DiscreteMachine)()
+    assert events_fluid < events_discrete
+    benchmark(_drive(FluidMachine))

@@ -1,0 +1,10 @@
+"""Sensitivity bench: window N and overload factor O sweeps."""
+
+from conftest import run_once
+from repro.experiments import sensitivity as mod
+
+
+def test_sensitivity(benchmark):
+    res = run_once(benchmark, lambda: mod.run(mod.Config.scaled(), seed=0))
+    print()
+    print(mod.render(res))

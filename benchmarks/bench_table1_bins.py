@@ -1,0 +1,12 @@
+"""Table I bench: FaaSBench duration-bin masses vs the paper."""
+
+from conftest import run_once
+from repro.experiments import table1_bins as mod
+
+
+def test_table1_bins(benchmark):
+    res = run_once(benchmark, lambda: mod.run(mod.Config.scaled(), seed=0))
+    for _label, paper_p, emp_p, _ns, _ms in res.rows:
+        assert abs(emp_p - paper_p) < 0.02
+    print()
+    print(mod.render(res))

@@ -1,0 +1,13 @@
+"""Table II bench: SFS user-space CPU overhead."""
+
+from conftest import run_once
+from repro.experiments import table2_overhead as mod
+
+
+def test_table2_overhead(benchmark):
+    res = run_once(benchmark, lambda: mod.run(mod.Config.scaled(), seed=0))
+    s4 = res.summaries[4]
+    benchmark.extra_info["poll_share_at_4ms"] = round(s4.poll_fraction, 3)
+    benchmark.extra_info["cores_used_at_4ms"] = round(s4.average, 2)
+    print()
+    print(mod.render(res))

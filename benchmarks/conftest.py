@@ -1,0 +1,19 @@
+"""Benchmark-suite helpers.
+
+Each paper artifact gets one benchmark that executes its experiment at
+the scaled (seconds-level) configuration exactly once per run —
+`rounds=1` because a whole scheduling experiment is the unit of work,
+not a micro-op.  The reproduced headline numbers are attached to the
+benchmark record via ``extra_info`` so `pytest benchmarks/
+--benchmark-only` doubles as a reproduction report.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, **extra):
+    """Benchmark ``fn`` with a single round and attach extras."""
+    result = benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+    for key, value in extra.items():
+        benchmark.extra_info[key] = value
+    return result

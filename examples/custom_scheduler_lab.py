@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Scheduler lab: poke at the simulation substrate directly.
+
+Shows the lower-level API a downstream user gets beneath the experiment
+harness: build a machine, spawn hand-crafted tasks, drive scheduling
+policy changes from "user space" (exactly the calls SFS itself makes),
+and watch kernel-visible state evolve — including a minimal re-creation
+of the FILTER idea in ~20 lines.
+
+Run:  python examples/custom_scheduler_lab.py
+"""
+
+from repro import DiscreteMachine, MachineParams, Simulator
+from repro.sim.task import Burst, BurstKind, SchedPolicy, Task
+from repro.sim.units import MS, to_ms
+
+
+def report(label, tasks):
+    print(f"\n{label}")
+    for t in tasks:
+        print(
+            f"  {t.name:10s} turnaround {to_ms(t.turnaround):8.1f} ms "
+            f"(demand {to_ms(t.cpu_demand):6.1f} ms, "
+            f"{t.ctx_involuntary} preemptions, final class {t.policy.name})"
+        )
+
+
+def make_tasks():
+    longs = [
+        Task(bursts=[Burst(BurstKind.CPU, 800 * MS)], name=f"long-{i}")
+        for i in range(2)
+    ]
+    shorts = [
+        Task(bursts=[Burst(BurstKind.CPU, 20 * MS)], name=f"short-{i}")
+        for i in range(4)
+    ]
+    return longs, shorts
+
+
+def run_plain_cfs():
+    sim = Simulator()
+    machine = DiscreteMachine(sim, MachineParams(n_cores=1))
+    longs, shorts = make_tasks()
+    for t in longs:
+        machine.spawn(t)
+    for i, t in enumerate(shorts):
+        sim.schedule_at((50 + 10 * i) * MS, machine.spawn, t)
+    sim.run()
+    report("plain CFS (1 core): shorts wait out whole scheduling cycles",
+           longs + shorts)
+
+
+def run_mini_filter():
+    """A 20-line FILTER: promote each arrival to SCHED_FIFO for one
+    100 ms slice, then demote — the heart of SFS, hand-rolled against
+    the raw machine API."""
+    sim = Simulator()
+    machine = DiscreteMachine(sim, MachineParams(n_cores=1))
+    SLICE = 100 * MS
+
+    def admit(task):
+        machine.spawn(task)
+        machine.set_policy(task, SchedPolicy.FIFO)  # schedtool -f
+
+        def expire():
+            if not task.finished:
+                machine.set_policy(task, SchedPolicy.CFS)  # demote
+
+        sim.schedule(SLICE, expire)
+
+    longs, shorts = make_tasks()
+    for t in longs:
+        admit(t)
+    for i, t in enumerate(shorts):
+        sim.schedule_at((50 + 10 * i) * MS, admit, t)
+    sim.run()
+    report("mini-FILTER (same workload): shorts run to completion at RT "
+           "priority, longs absorb the wait", longs + shorts)
+
+
+def main() -> None:
+    run_plain_cfs()
+    run_mini_filter()
+    print(
+        "\nThe full SFS adds what this toy omits: a global queue with "
+        "c workers, the adaptive slice S = mean(IAT) x cores, I/O "
+        "detection by /proc polling, and overload bypass — see "
+        "repro.core.sfs."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""End-to-end OpenLambda deployment with and without the SFS port.
+
+Builds the §IX workload (fib = CPU-heavy, md = I/O-heavy, sa = mixed),
+pushes it through the full platform pipeline — HTTP gateway →
+OpenLambda worker → sandbox server → warm Docker container → OS — and
+compares OpenLambda+CFS against OpenLambda+SFS at three load levels.
+
+Run:  python examples/openlambda_e2e.py
+"""
+
+import numpy as np
+
+from repro import MachineParams, OpenLambdaConfig, run_openlambda
+from repro.analysis.report import format_table
+from repro.workload.faasbench import OPENLAMBDA_MIX, FaaSBench, FaaSBenchConfig
+
+N_CORES = 24  # the paper uses 72 of an m5.metal's 96 vCPUs
+
+
+def make_workload(load: float, n: int = 6_000):
+    return FaaSBench(
+        FaaSBenchConfig(
+            n_requests=n,
+            n_cores=N_CORES,
+            target_load=load,
+            app_mix=OPENLAMBDA_MIX,
+            iat_kind="bursty",  # SIX replays the bursty Azure IATs
+        ),
+        seed=11,
+    ).generate()
+
+
+def main() -> None:
+    base = OpenLambdaConfig(
+        machine=MachineParams(n_cores=N_CORES, ctx_switch_cost=500),
+        seed=3,
+    )
+    rows = []
+    for load in (0.8, 0.9, 1.0):
+        wl = make_workload(load)
+        cfs = run_openlambda(wl, base.with_scheduler("cfs"))
+        sfs = run_openlambda(wl, base.with_scheduler("sfs"))
+        tc, ts = cfs.turnarounds, sfs.turnarounds
+        rows.append(
+            (
+                f"{load:.0%}",
+                f"{np.median(tc)/1e3:.0f} / {np.median(ts)/1e3:.0f}",
+                f"{np.percentile(tc, 99)/1e6:.2f} / {np.percentile(ts, 99)/1e6:.2f}",
+                f"{(tc / np.maximum(ts, 1)).mean():.2f}x",
+                f"{np.percentile(tc, 99)/np.percentile(ts, 99):.2f}x",
+            )
+        )
+        print(
+            f"load {load:.0%}: OL+SFS promoted {sfs.sfs_stats.promoted}, "
+            f"bypassed {sfs.sfs_stats.bypassed_overload} under transient overload, "
+            f"resubmitted {sfs.sfs_stats.resubmitted} after I/O"
+        )
+
+    print()
+    print(
+        format_table(
+            [
+                "load",
+                "p50 ms (CFS/SFS)",
+                "p99 s (CFS/SFS)",
+                "mean CFS/SFS",
+                "p99 speedup",
+            ],
+            rows,
+            title="OpenLambda end to end (paper Fig 13/15: CFS degrades with "
+            "load, SFS holds; p99 speedups 1.65x/4.04x/7.93x)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

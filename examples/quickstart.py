@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: SFS vs CFS on an Azure-like serverless workload.
+
+Generates a FaaSBench workload (Table I durations, Poisson arrivals at
+100 % offered load on 12 cores), replays it under plain Linux CFS and
+under SFS, and prints the paper's headline comparison.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import FaaSBench, FaaSBenchConfig, MachineParams, RunConfig, run_workload
+from repro.analysis.report import format_cdf_probes
+from repro.metrics.stats import improvement_summary
+
+N_CORES = 12
+
+
+def main() -> None:
+    # 1. generate a workload: 5000 invocations, Table I duration mix,
+    #    Poisson IATs scaled so the machine sees 100 % offered CPU load
+    workload = FaaSBench(
+        FaaSBenchConfig(n_requests=5_000, n_cores=N_CORES, target_load=1.0),
+        seed=42,
+    ).generate()
+    print(
+        f"workload: {len(workload)} requests, "
+        f"offered load {workload.offered_load(N_CORES):.2f} on {N_CORES} cores"
+    )
+
+    # 2. replay the *same* workload under both schedulers
+    machine = MachineParams(n_cores=N_CORES, ctx_switch_cost=500)
+    cfs = run_workload(workload, RunConfig(scheduler="cfs", machine=machine))
+    sfs = run_workload(workload, RunConfig(scheduler="sfs", machine=machine))
+
+    # 3. compare
+    print()
+    print(
+        format_cdf_probes(
+            {"cfs": cfs.turnarounds, "sfs": sfs.turnarounds},
+            title="execution duration (ms) at CDF probe points",
+        )
+    )
+
+    s = improvement_summary(cfs.turnarounds, sfs.turnarounds)
+    print()
+    print(f"functions improved by SFS : {s['fraction_improved']:.1%}  (paper: 83%)")
+    print(f"mean speedup among them   : {s['mean_speedup_improved']:.1f}x")
+    print(f"mean slowdown of the rest : {s['mean_slowdown_rest']:.2f}x  (paper: 1.29x)")
+    print()
+    print(
+        f"median RTE:  cfs {np.median(cfs.rtes):.3f}   sfs {np.median(sfs.rtes):.3f}"
+        "   (1.0 = ran with zero interference)"
+    )
+    print(
+        f"SFS stats: {sfs.sfs_stats.promoted} promoted, "
+        f"{sfs.sfs_stats.completed_in_filter} finished inside their slice, "
+        f"{sfs.sfs_stats.demoted_slice} demoted to CFS"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""SLO probe: the paper's proposed FaaS SLO, evaluated live.
+
+§I of the paper proposes: "X% of function invocations must be finished
+within a soft/hard-bounded ratio with respect to the duration that this
+function would observe if running in an ideally isolated environment."
+
+This example measures that SLO for CFS, SFS and the SRTF oracle on the
+same workload and draws the stretch distributions as text CDFs.
+
+Run:  python examples/slo_probe.py
+"""
+
+from repro import FaaSBench, FaaSBenchConfig, MachineParams, RunConfig, run_workload
+from repro.analysis.ascii import cdf_plot
+from repro.analysis.report import format_table
+from repro.metrics.slo import DEFAULT_SLOS, max_stretch_bound, stretch
+
+N_CORES = 12
+
+
+def main() -> None:
+    workload = FaaSBench(
+        FaaSBenchConfig(n_requests=4_000, n_cores=N_CORES, target_load=1.0),
+        seed=21,
+    ).generate()
+    machine = MachineParams(n_cores=N_CORES, ctx_switch_cost=500)
+    runs = {
+        s: run_workload(workload, RunConfig(scheduler=s, machine=machine))
+        for s in ("cfs", "sfs", "srtf")
+    }
+
+    rows = []
+    for slo in DEFAULT_SLOS:
+        for name, r in runs.items():
+            att = slo.attainment(r.records)
+            rows.append((slo.name, name, f"{att:.3f}",
+                         "yes" if att >= slo.quantile else "NO"))
+    print(format_table(["SLO", "sched", "attainment", "met"], rows,
+                       title="SLO attainment at 100% load"))
+
+    rows2 = [
+        (name, f"{max_stretch_bound(r.records, 0.95):.1f}x",
+         f"{max_stretch_bound(r.records, 0.99):.1f}x")
+        for name, r in runs.items()
+    ]
+    print()
+    print(format_table(["sched", "p95 stretch", "p99 stretch"], rows2,
+                       title="tightest promisable bound"))
+
+    print("\nstretch CDF (x: turnaround / isolated duration, log scale)")
+    print(cdf_plot({name: stretch(r.records) for name, r in runs.items()}))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Shim for environments without the `wheel` package (offline installs).
+
+`pip install -e . --no-build-isolation` on setuptools<70 requires wheel
+for PEP-660 editable installs; this legacy path does not.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,58 @@
+"""repro — a full reproduction of *SFS: Smart OS Scheduling for
+Serverless Functions* (Fu, Liu, Wang, Cheng, Chen; SC 2022) as a
+deterministic discrete-event simulation.
+
+Quick start::
+
+    from repro import (
+        FaaSBench, FaaSBenchConfig, RunConfig, run_workload,
+    )
+
+    wl = FaaSBench(FaaSBenchConfig(n_requests=5000, n_cores=12,
+                                   target_load=1.0), seed=42).generate()
+    cfs = run_workload(wl, RunConfig(scheduler="cfs"))
+    sfs = run_workload(wl, RunConfig(scheduler="sfs"))
+    print(cfs.turnarounds.mean() / sfs.turnarounds.mean())
+
+Packages:
+
+* ``repro.sim``      — discrete-event kernel (virtual time in integer us)
+* ``repro.sched``    — CFS / FIFO / RR / SRTF / IDEAL scheduler models
+* ``repro.machine``  — multi-core host engines (discrete + fluid)
+* ``repro.core``     — SFS itself (FILTER pool, monitor, poller, overload)
+* ``repro.workload`` — FaaSBench and the synthetic Azure trace
+* ``repro.faas``     — the OpenLambda platform model
+* ``repro.metrics``  — RTE, CDFs, percentiles, timelines
+* ``repro.experiments`` — one module per table/figure of the paper
+"""
+
+from repro.core import SFS, SFSConfig
+from repro.experiments.runner import RunConfig, run_many, run_workload
+from repro.faas import OpenLambdaConfig, run_openlambda
+from repro.machine import DiscreteMachine, FluidMachine, MachineParams
+from repro.metrics import RequestRecord, RunResult
+from repro.sim import Simulator, Task
+from repro.workload import FaaSBench, FaaSBenchConfig, Workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SFS",
+    "SFSConfig",
+    "RunConfig",
+    "run_workload",
+    "run_many",
+    "run_openlambda",
+    "OpenLambdaConfig",
+    "MachineParams",
+    "DiscreteMachine",
+    "FluidMachine",
+    "Simulator",
+    "Task",
+    "FaaSBench",
+    "FaaSBenchConfig",
+    "Workload",
+    "RunResult",
+    "RequestRecord",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""Rendering and experiment-suite orchestration."""
+
+from repro.analysis.report import format_cdf_probes, format_series, format_table
+
+__all__ = ["format_table", "format_cdf_probes", "format_series"]

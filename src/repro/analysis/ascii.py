@@ -1,0 +1,103 @@
+"""Pure-text plots: CDF curves and histograms without a plotting stack.
+
+The original figures are CDF plots; with matplotlib unavailable offline
+these helpers draw the same curves as Unicode block charts so reports
+and terminals can still *see* the distributions, not just probe tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+_BARS = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(fraction: float, width: int) -> str:
+    """A horizontal bar of ``fraction * width`` character cells."""
+    fraction = min(max(fraction, 0.0), 1.0)
+    cells = fraction * width
+    full = int(cells)
+    frac = cells - full
+    partial = _BARS[int(frac * (len(_BARS) - 1))] if full < width else ""
+    return ("█" * full + partial).ljust(width)
+
+
+def histogram(
+    values: Sequence[float],
+    bins: int = 12,
+    width: int = 40,
+    label: str = "value",
+    log: bool = False,
+) -> str:
+    """A horizontal-bar histogram.
+
+    ``log=True`` bins on a log10 axis — the natural scale for FaaS
+    durations spanning orders of magnitude.
+    """
+    a = np.asarray(values, dtype=float)
+    if a.size == 0:
+        raise ValueError("empty sample")
+    if log:
+        a = a[a > 0]
+        edges = np.logspace(np.log10(a.min()), np.log10(a.max()), bins + 1)
+    else:
+        edges = np.linspace(a.min(), a.max(), bins + 1)
+    counts, edges = np.histogram(a, bins=edges)
+    peak = max(1, counts.max())
+    lines = [f"{label} histogram (n={a.size})"]
+    for i, c in enumerate(counts):
+        lo, hi = edges[i], edges[i + 1]
+        lines.append(
+            f"{lo:>12.4g} - {hi:<12.4g} |{_bar(c / peak, width)}| {c}"
+        )
+    return "\n".join(lines)
+
+
+def cdf_plot(
+    series: Dict[str, Sequence[float]],
+    width: int = 60,
+    height: int = 16,
+    log_x: bool = True,
+) -> str:
+    """Overlayed CDF curves on a character grid (one symbol per series).
+
+    This is the textual equivalent of the paper's CDF figures: x =
+    value (log scale by default), y = cumulative fraction.
+    """
+    if not series:
+        raise ValueError("no series")
+    symbols = "*+ox#@%&"
+    arrays = {k: np.sort(np.asarray(v, dtype=float)) for k, v in series.items()}
+    lo = min(float(a[a > 0].min()) if log_x else float(a.min()) for a in arrays.values())
+    hi = max(float(a.max()) for a in arrays.values())
+    if log_x:
+        xgrid = np.logspace(np.log10(max(lo, 1e-12)), np.log10(max(hi, lo * 10)),
+                            width)
+    else:
+        xgrid = np.linspace(lo, hi, width)
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, a) in enumerate(arrays.items()):
+        sym = symbols[idx % len(symbols)]
+        y = np.searchsorted(a, xgrid, side="right") / a.size
+        for col in range(width):
+            row = height - 1 - int(y[col] * (height - 1))
+            grid[row][col] = sym
+
+    lines = []
+    for r, row in enumerate(grid):
+        frac = 1.0 - r / (height - 1)
+        lines.append(f"{frac:4.2f} |" + "".join(row))
+    lines.append("     +" + "-" * width)
+    lines.append(
+        "      "
+        + f"{xgrid[0]:.3g}".ljust(width // 2)
+        + f"{xgrid[-1]:.3g}".rjust(width // 2)
+    )
+    legend = "  ".join(
+        f"{symbols[i % len(symbols)]}={name}" for i, name in enumerate(arrays)
+    )
+    lines.append("      " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,91 @@
+"""ASCII rendering of experiment results.
+
+The original paper communicates through CDFs and percentile bars; with
+no plotting stack available offline, every experiment renders the same
+information as aligned text tables (value at fixed CDF probe points,
+percentile breakdowns, timeline strips).  These strings are what lands
+in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+
+from repro.sim.units import to_ms
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Fixed-width table with a separator under the header."""
+    srows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in srows:
+        cells = [
+            cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i])
+            for i, cell in enumerate(row)
+        ]
+        lines.append("  ".join(cells))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) >= 1e5 or abs(value) < 1e-3):
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_cdf_probes(
+    series: Dict[str, np.ndarray],
+    probes: Sequence[float] = (10, 25, 50, 75, 90, 99, 99.9),
+    unit: str = "ms",
+    title: str = "",
+) -> str:
+    """One row per series, one column per percentile probe.
+
+    This is the textual equivalent of overlaid CDF curves: reading down
+    a column compares schedulers at the same population fraction.
+    """
+    scale = 1000.0 if unit == "ms" else 1.0
+    headers = ["series"] + [f"p{p:g}" for p in probes] + ["mean"]
+    rows = []
+    for name, values in series.items():
+        a = np.asarray(values, dtype=float) / scale
+        rows.append([name] + [float(np.percentile(a, p)) for p in probes]
+                    + [float(a.mean())])
+    t = title or f"values in {unit} at CDF probe points"
+    return format_table(headers, rows, title=t)
+
+
+def format_series(
+    times_us: Sequence[int],
+    values: Sequence[float],
+    name: str = "value",
+    time_unit: str = "s",
+    max_rows: int = 40,
+) -> str:
+    """A (downsampled) timeline as a two-column table."""
+    ts = np.asarray(times_us, dtype=float)
+    vs = np.asarray(values, dtype=float)
+    if ts.size > max_rows:
+        idx = np.linspace(0, ts.size - 1, max_rows).astype(int)
+        ts, vs = ts[idx], vs[idx]
+    div = 1e6 if time_unit == "s" else 1e3
+    rows = [(round(t / div, 3), v) for t, v in zip(ts, vs)]
+    return format_table([f"t ({time_unit})", name], rows)
+
+
+def ms(us_value: float) -> float:
+    """Microseconds -> milliseconds (for table cells)."""
+    return round(to_ms(us_value), 3)

@@ -1,0 +1,222 @@
+"""Self-validation battery: is this installation simulating correctly?
+
+Runs a suite of cross-checks a downstream user can invoke after
+installing (``python -m repro validate`` or
+``python -m repro.analysis.validate``):
+
+1. **conservation** — every engine serves exactly the CPU demanded;
+2. **lower bound** — no turnaround beats the zero-interference bound;
+3. **engine agreement** — fluid vs discrete CFS within tolerance, FIFO
+   exact;
+4. **oracle ordering** — IDEAL <= SRTF <= CFS on mean turnaround;
+5. **SFS contract** — at most ``n_workers`` FILTER tasks at once, every
+   submission accounted for in the outcome counters;
+6. **trace calibration** — the synthetic Azure trace hits the paper's
+   Fig 1 anchors;
+7. **determinism** — identical seeds give bit-identical results.
+
+Each check returns a :class:`CheckResult`; the battery passes only if
+all do.  The same functions back parts of the pytest suite, so the
+shipped tests and the user-facing validator cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.experiments.runner import RunConfig, run_workload
+from repro.machine.base import MachineParams
+from repro.workload.azure import FIG1_ANCHORS, AzureTraceSynthesizer
+from repro.workload.faasbench import FaaSBench, FaaSBenchConfig
+
+
+@dataclass
+class CheckResult:
+    name: str
+    passed: bool
+    detail: str
+    seconds: float
+
+
+def _workload(n=400, cores=8, load=0.9, seed=7, **kw):
+    cfg = FaaSBenchConfig(n_requests=n, n_cores=cores, target_load=load, **kw)
+    return FaaSBench(cfg, seed=seed).generate()
+
+
+def _run(wl, scheduler, engine="fluid", cores=8):
+    return run_workload(
+        wl,
+        RunConfig(scheduler=scheduler, engine=engine,
+                  machine=MachineParams(n_cores=cores)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# checks
+# ---------------------------------------------------------------------------
+def check_conservation() -> CheckResult:
+    t0 = time.time()
+    wl = _workload(io_fraction=0.3)
+    failures = []
+    for sched in ("cfs", "fifo", "sfs", "srtf", "ideal"):
+        res = _run(wl, sched)
+        served = res.array("cpu_time").sum()
+        demanded = res.array("cpu_demand").sum()
+        if served != demanded:
+            failures.append(f"{sched}: served {served} != demanded {demanded}")
+    return CheckResult(
+        "conservation", not failures,
+        "; ".join(failures) or "all engines serve exactly the demand",
+        time.time() - t0,
+    )
+
+
+def check_lower_bound() -> CheckResult:
+    t0 = time.time()
+    wl = _workload(load=1.0)
+    failures = []
+    for sched in ("cfs", "sfs", "srtf"):
+        res = _run(wl, sched)
+        ideal = res.array("cpu_demand") + res.array("io_demand")
+        bad = int((res.turnarounds < ideal - 1).sum())
+        if bad:
+            failures.append(f"{sched}: {bad} requests beat isolation")
+    return CheckResult(
+        "lower-bound", not failures,
+        "; ".join(failures) or "no turnaround beats the isolated duration",
+        time.time() - t0,
+    )
+
+
+def check_engine_agreement() -> CheckResult:
+    t0 = time.time()
+    wl = _workload(load=0.9, seed=21)
+    fluid = _run(wl, "cfs", engine="fluid")
+    disc = _run(wl, "cfs", engine="discrete")
+    rel = abs(fluid.turnarounds.mean() - disc.turnarounds.mean()) / max(
+        disc.turnarounds.mean(), 1
+    )
+    fifo_f = _run(wl, "fifo", engine="fluid")
+    fifo_d = _run(wl, "fifo", engine="discrete")
+    fifo_exact = bool(np.array_equal(fifo_f.turnarounds, fifo_d.turnarounds))
+    ok = rel < 0.10 and fifo_exact
+    return CheckResult(
+        "engine-agreement", ok,
+        f"CFS mean disagreement {rel:.1%} (<10% required); "
+        f"FIFO exact: {fifo_exact}",
+        time.time() - t0,
+    )
+
+
+def check_oracle_ordering() -> CheckResult:
+    t0 = time.time()
+    wl = _workload(load=1.0, seed=3)
+    means = {s: _run(wl, s).turnarounds.mean() for s in ("ideal", "srtf", "cfs")}
+    ok = means["ideal"] <= means["srtf"] + 1 and means["srtf"] <= means["cfs"]
+    return CheckResult(
+        "oracle-ordering", ok,
+        "IDEAL <= SRTF <= CFS on mean turnaround: "
+        + ", ".join(f"{k}={v/1e3:.1f}ms" for k, v in means.items()),
+        time.time() - t0,
+    )
+
+
+def check_sfs_contract() -> CheckResult:
+    t0 = time.time()
+    wl = _workload(load=1.0, seed=5)
+    res = _run(wl, "sfs")
+    s = res.sfs_stats
+    try:
+        s.check_invariants()
+        ok = True
+    except AssertionError:
+        ok = False
+    return CheckResult(
+        "sfs-contract", ok,
+        f"submitted={s.submitted} promoted={s.promoted} "
+        f"(in-slice {s.completed_in_filter}, demoted {s.demoted_slice}, "
+        f"io {s.demoted_io}), bypassed={s.bypassed_overload}",
+        time.time() - t0,
+    )
+
+
+def check_trace_calibration() -> CheckResult:
+    t0 = time.time()
+    syn = AzureTraceSynthesizer(n_apps=20_000, seed=1)
+    d = syn.sample_avg_durations(20_000)
+    deltas = {
+        bound: abs(float((d < bound).mean()) - target)
+        for bound, target in FIG1_ANCHORS
+    }
+    ok = all(delta < 0.05 for delta in deltas.values())
+    return CheckResult(
+        "trace-calibration", ok,
+        ", ".join(f"<{b/1e6:g}s off by {v:.3f}" for b, v in deltas.items()),
+        time.time() - t0,
+    )
+
+
+def check_determinism() -> CheckResult:
+    t0 = time.time()
+    wl = _workload(load=1.0, seed=11)
+    a = _run(wl, "sfs")
+    b = _run(wl, "sfs")
+    ok = bool(
+        np.array_equal(a.turnarounds, b.turnarounds)
+        and np.array_equal(a.rtes, b.rtes)
+    )
+    return CheckResult(
+        "determinism", ok,
+        "identical seeds give bit-identical results" if ok else "runs diverged",
+        time.time() - t0,
+    )
+
+
+ALL_CHECKS: Dict[str, Callable[[], CheckResult]] = {
+    "conservation": check_conservation,
+    "lower-bound": check_lower_bound,
+    "engine-agreement": check_engine_agreement,
+    "oracle-ordering": check_oracle_ordering,
+    "sfs-contract": check_sfs_contract,
+    "trace-calibration": check_trace_calibration,
+    "determinism": check_determinism,
+}
+
+
+def run_battery(names: Optional[List[str]] = None) -> List[CheckResult]:
+    """Run the selected (default: all) checks."""
+    selected = names or list(ALL_CHECKS)
+    unknown = [n for n in selected if n not in ALL_CHECKS]
+    if unknown:
+        raise ValueError(f"unknown checks: {unknown}")
+    return [ALL_CHECKS[n]() for n in selected]
+
+
+def render(results: List[CheckResult]) -> str:
+    from repro.analysis.report import format_table
+
+    rows = [
+        (r.name, "PASS" if r.passed else "FAIL", f"{r.seconds:.1f}s", r.detail)
+        for r in results
+    ]
+    verdict = "all checks passed" if all(r.passed for r in results) else (
+        "FAILURES: " + ", ".join(r.name for r in results if not r.passed)
+    )
+    return format_table(["check", "status", "time", "detail"], rows,
+                        title="repro self-validation") + f"\n{verdict}"
+
+
+def main(argv=None) -> int:  # pragma: no cover - thin wrapper
+    results = run_battery()
+    print(render(results))
+    return 0 if all(r.passed for r in results) else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main())

@@ -1,0 +1,187 @@
+"""Command-line interface.
+
+Three subcommands cover the common flows without writing Python::
+
+    python -m repro run --scheduler sfs --load 1.0 --requests 5000
+    python -m repro compare --schedulers cfs sfs srtf --load 0.9
+    python -m repro experiment fig6 headline ext-eevdf
+    python -m repro list
+
+``run`` and ``compare`` generate a FaaSBench workload and print the
+duration/RTE summary; ``experiment`` executes registry entries at their
+scaled configurations and prints the rendered paper artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis.report import format_cdf_probes, format_table
+from repro.experiments.registry import REGISTRY
+from repro.experiments.runner import SCHEDULERS, RunConfig, run_workload
+from repro.machine.base import MachineParams
+from repro.metrics.stats import improvement_summary
+from repro.workload.faasbench import OPENLAMBDA_MIX, FaaSBench, FaaSBenchConfig
+
+
+def _add_workload_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--requests", type=int, default=5000)
+    p.add_argument("--cores", type=int, default=12)
+    p.add_argument("--load", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--iat", choices=("poisson", "uniform", "bursty"),
+                   default="poisson")
+    p.add_argument("--io-fraction", type=float, default=0.0)
+    p.add_argument("--mix", choices=("fib", "openlambda"), default="fib")
+    p.add_argument("--engine", choices=("fluid", "discrete"), default="fluid")
+    p.add_argument("--ctx-cost", type=int, default=500,
+                   help="context-switch cost in us (0 = ideal hardware)")
+    p.add_argument("--workload", metavar="PATH",
+                   help="replay a saved workload instead of generating one")
+    p.add_argument("--save-workload", metavar="PATH",
+                   help="save the generated workload for later replay")
+
+
+def _workload(args):
+    from repro.workload.io import load_workload, save_workload
+
+    if getattr(args, "workload", None):
+        return load_workload(args.workload)
+    mix = OPENLAMBDA_MIX if args.mix == "openlambda" else (("fib", 1.0),)
+    cfg = FaaSBenchConfig(
+        n_requests=args.requests,
+        n_cores=args.cores,
+        target_load=args.load,
+        iat_kind=args.iat,
+        io_fraction=args.io_fraction,
+        app_mix=mix,
+    )
+    wl = FaaSBench(cfg, seed=args.seed).generate()
+    if getattr(args, "save_workload", None):
+        save_workload(wl, args.save_workload)
+        print(f"saved workload to {args.save_workload}")
+    return wl
+
+
+def _run(args, scheduler: str):
+    machine = MachineParams(n_cores=args.cores, ctx_switch_cost=args.ctx_cost)
+    cfg = RunConfig(scheduler=scheduler, engine=args.engine, machine=machine)
+    return run_workload(_workload(args), cfg)
+
+
+def cmd_run(args) -> int:
+    t0 = time.time()
+    res = _run(args, args.scheduler)
+    t = res.turnarounds
+    rows = [
+        ("requests", len(res.records)),
+        ("utilization", f"{res.utilization:.2f}"),
+        ("p50 (ms)", f"{np.percentile(t, 50) / 1e3:.1f}"),
+        ("p99 (ms)", f"{np.percentile(t, 99) / 1e3:.1f}"),
+        ("mean (ms)", f"{t.mean() / 1e3:.1f}"),
+        ("median RTE", f"{np.median(res.rtes):.3f}"),
+        ("wall time (s)", f"{time.time() - t0:.1f}"),
+    ]
+    if res.sfs_stats is not None:
+        s = res.sfs_stats
+        rows += [
+            ("SFS promoted", s.promoted),
+            ("SFS finished in slice", s.completed_in_filter),
+            ("SFS demoted (slice)", s.demoted_slice),
+            ("SFS bypassed (overload)", s.bypassed_overload),
+        ]
+    print(format_table(["metric", "value"], rows,
+                       title=f"{args.scheduler} on {args.cores} cores, "
+                             f"load {args.load:.0%}"))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    runs = {s: _run(args, s) for s in args.schedulers}
+    print(format_cdf_probes(
+        {name: r.turnarounds for name, r in runs.items()},
+        title=f"execution duration (ms), load {args.load:.0%}, "
+              f"{args.cores} cores",
+    ))
+    if "cfs" in runs and "sfs" in runs:
+        s = improvement_summary(runs["cfs"].turnarounds, runs["sfs"].turnarounds)
+        print(
+            f"\nSFS vs CFS: {s['fraction_improved']:.1%} improved "
+            f"(x{s['mean_speedup_improved']:.1f} mean), rest "
+            f"x{s['mean_slowdown_rest']:.2f} slower"
+        )
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    unknown = [e for e in args.ids if e not in REGISTRY]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(sorted(REGISTRY))}", file=sys.stderr)
+        return 2
+    for exp_id in args.ids:
+        entry = REGISTRY[exp_id]
+        t0 = time.time()
+        result = entry.run_scaled(seed=args.seed)
+        print(f"\n=== {exp_id}: {entry.title} ({time.time() - t0:.1f}s) ===")
+        print(entry.render(result))
+    return 0
+
+
+def cmd_validate(args) -> int:
+    from repro.analysis.validate import render, run_battery
+
+    results = run_battery(args.checks or None)
+    print(render(results))
+    return 0 if all(r.passed for r in results) else 1
+
+
+def cmd_list(_args) -> int:
+    rows = [(eid, e.title, e.module.__name__) for eid, e in REGISTRY.items()]
+    print(format_table(["id", "title", "module"], rows,
+                       title="available experiments"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one scheduler on a workload")
+    p_run.add_argument("--scheduler", choices=SCHEDULERS, default="sfs")
+    _add_workload_args(p_run)
+    p_run.set_defaults(func=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="replay one workload under many")
+    p_cmp.add_argument("--schedulers", nargs="+", choices=SCHEDULERS,
+                       default=["cfs", "sfs", "srtf"])
+    _add_workload_args(p_cmp)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_exp = sub.add_parser("experiment", help="run paper artifacts")
+    p_exp.add_argument("ids", nargs="+")
+    p_exp.add_argument("--seed", type=int, default=0)
+    p_exp.set_defaults(func=cmd_experiment)
+
+    p_list = sub.add_parser("list", help="list available experiments")
+    p_list.set_defaults(func=cmd_list)
+
+    p_val = sub.add_parser("validate", help="run the self-validation battery")
+    p_val.add_argument("checks", nargs="*",
+                       help="subset of checks (default: all)")
+    p_val.set_defaults(func=cmd_validate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""SFS — the paper's contribution: a user-space two-level scheduler.
+
+SFS approximates SRTF by orchestrating the kernel's existing FIFO and
+CFS classes from user space:
+
+* functions start in **FILTER** mode: an SFS worker promotes the process
+  to ``SCHED_FIFO`` and lets it run for at most a time slice ``S``;
+* functions that outlive ``S`` are demoted to CFS ("First In but Longer
+  jobs To Extra Runqueue");
+* ``S`` adapts to the arrival rate (``S = mean(last N IATs) × cores``);
+* blocked functions are detected by periodic ``/proc`` polling and put
+  back on the global queue when they wake;
+* transient overload (queuing delay ≥ O·S) temporarily bypasses FILTER
+  and drains the backlog straight into CFS.
+
+Public entry point: :class:`repro.core.sfs.SFS`.
+"""
+
+from repro.core.config import SFSConfig
+from repro.core.sfs import SFS
+
+__all__ = ["SFS", "SFSConfig"]

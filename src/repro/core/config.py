@@ -1,0 +1,71 @@
+"""SFS configuration.
+
+Defaults follow the paper: sliding window ``N = 100`` (§V-C), overload
+factor ``O = 3`` (§V-E), polling interval 4 ms (§V-D).  The ablation
+switches (``adaptive``, ``io_aware``, ``overload_enabled``) exist so the
+sensitivity experiments (Figs 9, 11, 12) can turn individual mechanisms
+off, exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.units import MS, SEC
+
+
+@dataclass(frozen=True)
+class SFSConfig:
+    """Tunables for the SFS user-space scheduler."""
+
+    #: FILTER workers; ``None`` = one per machine core (the paper's layout).
+    n_workers: Optional[int] = None
+    #: sliding window length N for IAT statistics (§V-C).
+    window: int = 100
+    #: overload threshold factor O: bypass FILTER when delay >= O * S (§V-E).
+    overload_factor: float = 3.0
+    #: kernel-status polling interval (§V-D).
+    poll_interval: int = 4 * MS
+    #: time slice before the first window completes.
+    initial_slice: int = 100 * MS
+    #: clamp bounds for the adaptive slice.
+    min_slice: int = 1 * MS
+    max_slice: int = 10 * SEC
+    #: static priority used for FILTER (SCHED_FIFO) processes.
+    rt_priority: int = 1
+
+    # --- ablation switches ------------------------------------------------
+    #: adapt S from IATs (False = keep ``initial_slice`` fixed; Fig 9).
+    adaptive: bool = True
+    #: poll for I/O blocks (False = I/O-oblivious SFS; Fig 11).
+    io_aware: bool = True
+    #: hybrid FILTER+CFS overload handling (False = "SFS w/o hybrid"; Fig 12).
+    overload_enabled: bool = True
+    #: per-worker (multi-queue) dispatch instead of the single global
+    #: queue — the design the paper rejects in §VI; kept as an ablation.
+    per_worker_queues: bool = False
+
+    # --- user-space overhead cost model (Table II) -------------------------
+    #: CPU cost of one kernel-status poll (gopsutil /proc read), us.
+    poll_cost: int = 96
+    #: CPU cost of one scheduling action, us.  The paper's implementation
+    #: literally forks and execs the ``schedtool`` binary per promotion/
+    #: demotion (§VI), which costs on the order of a millisecond.
+    sched_op_cost: int = 1200
+
+    def __post_init__(self) -> None:
+        if self.window <= 0:
+            raise ValueError("window must be positive")
+        if self.overload_factor <= 0:
+            raise ValueError("overload_factor must be positive")
+        if self.poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
+        if not (0 < self.min_slice <= self.initial_slice <= self.max_slice):
+            raise ValueError("require 0 < min_slice <= initial_slice <= max_slice")
+        if self.rt_priority < 1 or self.rt_priority > 99:
+            raise ValueError("rt_priority must be in [1, 99] (sched(7))")
+
+    def clamp_slice(self, s: int) -> int:
+        """Clamp a computed slice into the configured bounds."""
+        return max(self.min_slice, min(self.max_slice, int(s)))

@@ -1,0 +1,67 @@
+"""SFS global request queue.
+
+The paper implements this as a Go channel; behaviourally it is a FIFO
+of ``(function request, invocation timestamp)`` tuples shared by all
+SFS workers.  A single global queue (rather than per-core queues) gives
+natural work conservation and load balance (§VI).
+
+Each entry remembers *when it was enqueued* so workers can compute the
+queuing delay used by both the overload detector and Fig 12a.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Tuple
+
+from repro.sim.task import Task
+
+
+@dataclass
+class QueueEntry:
+    """One queued function request (or a re-enqueued post-I/O function)."""
+
+    task: Task
+    enqueue_ts: int
+    #: original invocation timestamp (first submission), for records.
+    invoke_ts: int
+    #: True when this entry is a wake-up re-enqueue, not a fresh arrival.
+    resumed: bool = False
+
+
+class GlobalQueue:
+    """FIFO queue with queuing-delay bookkeeping."""
+
+    def __init__(self) -> None:
+        self._q: Deque[QueueEntry] = deque()
+        self.total_enqueued: int = 0
+        self.max_length: int = 0
+        #: (time, delay) samples recorded at every pop — Fig 12a's series.
+        self.delay_samples: List[Tuple[int, int]] = []
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    def __bool__(self) -> bool:
+        return bool(self._q)
+
+    def push(self, entry: QueueEntry) -> None:
+        self._q.append(entry)
+        self.total_enqueued += 1
+        if len(self._q) > self.max_length:
+            self.max_length = len(self._q)
+
+    def pop(self, now: int) -> Optional[QueueEntry]:
+        """Dequeue the head and record its queuing delay."""
+        if not self._q:
+            return None
+        entry = self._q.popleft()
+        self.delay_samples.append((now, now - entry.enqueue_ts))
+        return entry
+
+    def head_delay(self, now: int) -> Optional[int]:
+        """Queuing delay of the head entry without dequeuing."""
+        if not self._q:
+            return None
+        return now - self._q[0].enqueue_ts

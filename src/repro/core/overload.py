@@ -1,0 +1,40 @@
+"""Transient-overload detection (§V-E).
+
+A worker about to FILTER-schedule a request first checks how long the
+request has been queuing.  A delay of at least ``O × S`` means the
+FILTER pool's service rate ``c·mu`` has fallen behind the arrival rate
+— the M/G/c traffic intensity ``rho > 1`` regime — so SFS temporarily
+leaves requests in CFS, which drains the backlog via work conservation.
+
+Detection is purely per-request (stateless), which is what makes the
+roll-back automatic: as soon as head-of-queue delay drops below the
+threshold, FILTER resumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.core.config import SFSConfig
+
+
+@dataclass
+class OverloadDetector:
+    """Stateless threshold check plus bookkeeping for Fig 12."""
+
+    config: SFSConfig
+    bypassed: int = 0
+    #: (time, delay, slice) for each bypass decision.
+    events: List[Tuple[int, int, int]] = field(default_factory=list)
+
+    def should_bypass(self, now: int, queue_delay: int, current_slice: int) -> bool:
+        """True when this request should skip FILTER and stay in CFS."""
+        if not self.config.overload_enabled:
+            return False
+        threshold = self.config.overload_factor * current_slice
+        if queue_delay >= threshold:
+            self.bypassed += 1
+            self.events.append((now, queue_delay, current_slice))
+            return True
+        return False

@@ -1,0 +1,114 @@
+"""PredictiveSFS: a size-based variant of SFS (extension experiment).
+
+SFS's design bet (§XI) is that *no* per-function duration knowledge is
+needed — a FIFO queue plus an adaptive slice approximates SRTF well
+enough.  The size-based scheduling literature bets the other way:
+estimate each request's size and serve shortest-predicted-first.
+
+``PredictiveSFS`` implements that alternative on the same chassis so
+the two bets can be compared against the SRTF oracle:
+
+* the global queue becomes a priority queue ordered by the predicted
+  CPU demand of each request's function (EWMA of history, keyed by the
+  function name — the unit Azure bills and the size-based literature
+  predicts on);
+* a promoted function's FILTER slice is its own predicted demand times
+  a headroom factor, instead of the global ``S``;
+* completed invocations feed the predictor.
+
+Everything else — workers, I/O polling, demotion to CFS, overload
+bypass — is inherited unchanged from :class:`repro.core.sfs.SFS`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import List, Optional
+
+from repro.core.config import SFSConfig
+from repro.core.global_queue import GlobalQueue, QueueEntry
+from repro.core.predictor import DurationPredictor
+from repro.core.sfs import SFS
+from repro.machine.base import MachineBase
+from repro.sim.task import Task
+
+
+class PriorityGlobalQueue(GlobalQueue):
+    """GlobalQueue ordered by a priority assigned at push time.
+
+    Priorities are frozen on push (a later, better estimate does not
+    re-sort waiting entries) — matching what a real implementation
+    could do cheaply.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._heap: list = []
+        self._seq = itertools.count()
+
+    def push(self, entry: QueueEntry, priority: float = 0.0) -> None:  # type: ignore[override]
+        heapq.heappush(self._heap, (priority, next(self._seq), entry))
+        self.total_enqueued += 1
+        if len(self._heap) > self.max_length:
+            self.max_length = len(self._heap)
+
+    def pop(self, now: int) -> Optional[QueueEntry]:
+        if not self._heap:
+            return None
+        _p, _s, entry = heapq.heappop(self._heap)
+        self.delay_samples.append((now, now - entry.enqueue_ts))
+        return entry
+
+    def head_delay(self, now: int) -> Optional[int]:
+        if not self._heap:
+            return None
+        return now - self._heap[0][2].enqueue_ts
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+class PredictiveSFS(SFS):
+    """SFS with shortest-predicted-first dispatch and per-task slices."""
+
+    def __init__(
+        self,
+        machine: MachineBase,
+        config: Optional[SFSConfig] = None,
+        predictor: Optional[DurationPredictor] = None,
+        slice_headroom: float = 1.5,
+    ):
+        super().__init__(machine, config)
+        if self.config.per_worker_queues:
+            raise ValueError("PredictiveSFS uses a single priority queue")
+        if slice_headroom <= 0:
+            raise ValueError("slice_headroom must be positive")
+        self.predictor = predictor or DurationPredictor()
+        self.slice_headroom = slice_headroom
+        self.queue = PriorityGlobalQueue()
+        self.queues: List[GlobalQueue] = [self.queue] * len(self.workers)
+        machine.on_finish(self._observe_finish)
+
+    # ------------------------------------------------------------------
+    def _push(self, entry: QueueEntry) -> None:
+        priority = self.predictor.predict(entry.task.name or entry.task.app)
+        self.queue.push(entry, priority=priority)
+
+    def _promote(self, worker, entry: QueueEntry) -> None:
+        task = entry.task
+        if getattr(task, "_sfs_slice_left", None) is None:
+            predicted = self.predictor.predict(task.name or task.app)
+            slice_left = self.config.clamp_slice(
+                int(predicted * self.slice_headroom)
+            )
+            task._sfs_slice_left = slice_left  # type: ignore[attr-defined]
+            task._sfs_slice_granted = slice_left  # type: ignore[attr-defined]
+        super()._promote(worker, entry)
+
+    def _observe_finish(self, task: Task) -> None:
+        if task.cpu_time > 0:
+            self.predictor.observe(task.name or task.app, task.cpu_time)

@@ -1,0 +1,76 @@
+"""Per-application duration prediction from execution history.
+
+The paper's related work (§XI) covers *size-based* scheduling: systems
+that approximate SRTF using a per-request size hint.  SFS deliberately
+avoids per-function prediction ("SFS does not assume a priori knowledge
+about function types or execution time"), so this module exists to
+*test* that design choice: :class:`repro.core.predictive.PredictiveSFS`
+uses these predictions to schedule shortest-predicted-first, and the
+extension experiment compares it against stock SFS and the SRTF oracle.
+
+The predictor is an exponentially weighted moving average of completed
+CPU times per application, with a global prior for cold applications —
+the standard online size estimator in the size-based literature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.sim.units import MS
+
+
+@dataclass
+class _AppStats:
+    ema: float
+    count: int
+
+
+class DurationPredictor:
+    """EWMA of per-app CPU demand, with a global-mean prior."""
+
+    def __init__(self, alpha: float = 0.25, prior_us: float = 100 * MS):
+        if not (0 < alpha <= 1):
+            raise ValueError("alpha must be in (0, 1]")
+        if prior_us <= 0:
+            raise ValueError("prior must be positive")
+        self.alpha = alpha
+        self.prior_us = float(prior_us)
+        self._apps: Dict[str, _AppStats] = {}
+        self._global_ema: Optional[float] = None
+        self.observations = 0
+
+    # ------------------------------------------------------------------
+    def observe(self, app: str, cpu_time_us: int) -> None:
+        """Record a completed invocation's measured CPU time."""
+        if cpu_time_us <= 0:
+            raise ValueError("cpu_time must be positive")
+        self.observations += 1
+        if self._global_ema is None:
+            self._global_ema = float(cpu_time_us)
+        else:
+            self._global_ema += self.alpha * (cpu_time_us - self._global_ema)
+        stats = self._apps.get(app)
+        if stats is None:
+            self._apps[app] = _AppStats(ema=float(cpu_time_us), count=1)
+        else:
+            stats.ema += self.alpha * (cpu_time_us - stats.ema)
+            stats.count += 1
+
+    def predict(self, app: str) -> float:
+        """Expected CPU demand (us) of the next invocation of ``app``."""
+        stats = self._apps.get(app)
+        if stats is not None:
+            return stats.ema
+        if self._global_ema is not None:
+            return self._global_ema
+        return self.prior_us
+
+    def confidence(self, app: str) -> int:
+        """How many samples back the prediction (0 = pure prior)."""
+        stats = self._apps.get(app)
+        return stats.count if stats else 0
+
+    def known_apps(self) -> int:
+        return len(self._apps)

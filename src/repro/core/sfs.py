@@ -1,0 +1,305 @@
+"""The SFS scheduler facade (§V).
+
+Wires the global queue, FILTER worker pool, slice monitor, I/O poller
+and overload detector to a machine through the narrow user-space API
+(``set_policy`` = schedtool, ``poll_state`` = /proc polling,
+``on_finish`` = waitpid).  The scheduling flow follows Fig 4 of the
+paper step by step; the numbered comments below reference it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.config import SFSConfig
+from repro.core.global_queue import GlobalQueue, QueueEntry
+from repro.core.monitor import SliceMonitor
+from repro.core.overhead import OverheadMeter
+from repro.core.overload import OverloadDetector
+from repro.core.worker import SFSWorker
+from repro.machine.base import MachineBase
+from repro.sim.task import SchedPolicy, Task, TaskState
+
+
+@dataclass
+class SFSStats:
+    """Counters exposed for tests and the evaluation harness."""
+
+    submitted: int = 0
+    resubmitted: int = 0          # post-I/O re-enqueues
+    promoted: int = 0             # FILTER promotions (schedtool -> FIFO)
+    completed_in_filter: int = 0  # finished before the slice expired (4.1)
+    demoted_slice: int = 0        # slice expiry -> CFS (4.2)
+    demoted_io: int = 0           # block detected -> CFS + watch (4.3)
+    demoted_io_exhausted: int = 0  # block detected with no slice budget left
+    bypassed_overload: int = 0    # overload -> stay in CFS (4.4)
+    skipped_finished: int = 0     # finished in CFS before a worker got it
+    watched_at_pop: int = 0       # found blocked at dequeue -> watch list
+    finished_while_watched: int = 0  # completed in CFS before waking
+
+    def check_invariants(self) -> None:
+        """Every queue entry and every promotion has exactly one
+        outcome; raises AssertionError otherwise.  Only meaningful once
+        the run has drained (queue and watch list empty)."""
+        entries = self.submitted + self.resubmitted
+        outcomes = (
+            self.promoted
+            + self.bypassed_overload
+            + self.skipped_finished
+            + self.watched_at_pop
+        )
+        assert entries == outcomes, (entries, outcomes)
+        assert self.promoted == (
+            self.completed_in_filter + self.demoted_slice + self.demoted_io
+        )
+        watches = self.watched_at_pop + (self.demoted_io - self.demoted_io_exhausted)
+        resolved = self.resubmitted + self.finished_while_watched
+        assert watches == resolved, (watches, resolved)
+
+
+class SFS:
+    """User-space two-level (FILTER + CFS) function scheduler."""
+
+    def __init__(self, machine: MachineBase, config: Optional[SFSConfig] = None):
+        self.machine = machine
+        self.sim = machine.sim
+        self.config = config or SFSConfig()
+        n_workers = self.config.n_workers or machine.n_cores
+        self.workers: List[SFSWorker] = [SFSWorker(i) for i in range(n_workers)]
+        if self.config.per_worker_queues:
+            # multi-queue ablation (§VI): one private queue per worker,
+            # round-robin request placement, no stealing
+            self.queues: List[GlobalQueue] = [GlobalQueue() for _ in self.workers]
+            self.queue = self.queues[0]
+        else:
+            self.queue = GlobalQueue()
+            self.queues = [self.queue] * n_workers
+        self._rr_submit = 0
+        self.monitor = SliceMonitor(self.config, machine.n_cores)
+        self.overload = OverloadDetector(self.config)
+        self.overhead = OverheadMeter()
+        self.stats = SFSStats()
+        self._by_tid: Dict[int, SFSWorker] = {}
+        self._watch: Dict[int, QueueEntry] = {}
+        self._watch_poll_active = False
+        self._draining = False
+        machine.on_finish(self._on_task_finish)
+
+    # ==================================================================
+    # entry point (Fig 4, step 1): the FaaS server tells SFS about a
+    # dispatched function process
+    # ==================================================================
+    def submit(self, task: Task, invoke_ts: Optional[int] = None) -> None:
+        """Register a freshly dispatched function request with SFS."""
+        now = self.sim.now
+        invoke = invoke_ts if invoke_ts is not None else now
+        self.stats.submitted += 1
+        self.monitor.record_arrival(now)
+        self._push(QueueEntry(task=task, enqueue_ts=now, invoke_ts=invoke))
+        self._drain()
+
+    def _push(self, entry: QueueEntry) -> None:
+        if self.config.per_worker_queues:
+            self.queues[self._rr_submit % len(self.queues)].push(entry)
+            self._rr_submit += 1
+        else:
+            self.queue.push(entry)
+
+    def delay_samples(self) -> List:
+        """Queue-delay samples across all queues, time-ordered."""
+        if not self.config.per_worker_queues:
+            return list(self.queue.delay_samples)
+        merged: List = []
+        for q in self.queues:
+            merged.extend(q.delay_samples)
+        merged.sort()
+        return merged
+
+    # ==================================================================
+    # worker pool (Fig 4, step 2)
+    # ==================================================================
+    def _drain(self) -> None:
+        """Let idle workers fetch from the global queue (work conserving)."""
+        if self._draining:
+            return
+        self._draining = True
+        try:
+            progress = True
+            while progress:
+                progress = False
+                for worker in self.workers:
+                    if worker.idle and self.queues[worker.index]:
+                        if self._assign_next(worker):
+                            progress = True
+        finally:
+            self._draining = False
+
+    def _assign_next(self, worker: SFSWorker) -> bool:
+        """Pop entries until one is FILTER-scheduled on ``worker``.
+
+        Entries may be consumed without occupying the worker: requests
+        that already finished under CFS, requests bypassed to CFS by the
+        overload detector (4.4), and requests found blocked on I/O (4.3).
+        Returns False when the queue empties without an assignment.
+        """
+        now = self.sim.now
+        queue = self.queues[worker.index]
+        while True:
+            entry = queue.pop(now)
+            if entry is None:
+                return False
+            task = entry.task
+            state = self.machine.poll_state(task)
+            if state is TaskState.FINISHED:
+                self.stats.skipped_finished += 1
+                continue
+            delay = now - entry.enqueue_ts
+            if not entry.resumed and self.overload.should_bypass(
+                now, delay, self.monitor.slice
+            ):
+                # 4.4: transient overload — leave the process in CFS.
+                self.stats.bypassed_overload += 1
+                task._sfs_bypassed = True  # type: ignore[attr-defined]
+                continue
+            if self.config.io_aware and state is TaskState.BLOCKED:
+                # Found sleeping (e.g. leading I/O): watch until runnable.
+                self.stats.watched_at_pop += 1
+                self._watch_task(entry)
+                continue
+            self._promote(worker, entry)
+            return True
+
+    def _promote(self, worker: SFSWorker, entry: QueueEntry) -> None:
+        """FILTER-schedule ``entry`` on ``worker`` (schedtool -> FIFO)."""
+        now = self.sim.now
+        task = entry.task
+        slice_left = getattr(task, "_sfs_slice_left", None)
+        if slice_left is None:
+            slice_left = self.monitor.slice
+            task._sfs_slice_left = slice_left  # type: ignore[attr-defined]
+            task._sfs_slice_granted = slice_left  # type: ignore[attr-defined]
+        worker.entry = entry
+        worker.assigned_at = now
+        worker.cpu_at_assign = task.cpu_time
+        worker.slice_at_assign = slice_left
+        self._by_tid[task.tid] = worker
+        self.stats.promoted += 1
+        self._sched_op()
+        self.machine.set_policy(task, SchedPolicy.FIFO, self.config.rt_priority)
+        worker.slice_handle = self.sim.schedule(
+            max(1, slice_left), self._on_slice_expiry, worker, task
+        )
+        if self.config.io_aware:
+            worker.poll_handle = self.sim.schedule(
+                self.config.poll_interval, self._on_worker_poll, worker, task
+            )
+
+    # ==================================================================
+    # FILTER-mode lifecycle (Fig 4, steps 4.1-4.3)
+    # ==================================================================
+    def _on_task_finish(self, task: Task) -> None:
+        """waitpid: the function returned (4.1) — release its worker."""
+        if self._watch.pop(task.tid, None) is not None:
+            self.stats.finished_while_watched += 1
+        worker = self._by_tid.pop(task.tid, None)
+        if worker is None:
+            return
+        if worker.entry is not None and worker.entry.task is task:
+            if worker.slice_handle is not None and worker.slice_handle.active:
+                self.stats.completed_in_filter += 1
+            worker.clear()
+            self._drain()
+
+    def _on_slice_expiry(self, worker: SFSWorker, task: Task) -> None:
+        """4.2: the slice elapsed — demote the function to CFS."""
+        worker.slice_handle = None
+        if worker.entry is None or worker.entry.task is not task:
+            return  # stale timer
+        task._sfs_slice_left = 0  # type: ignore[attr-defined]
+        task._sfs_demoted = True  # type: ignore[attr-defined]
+        self.stats.demoted_slice += 1
+        self._sched_op()
+        self._by_tid.pop(task.tid, None)
+        worker.clear()
+        self.machine.set_policy(task, SchedPolicy.CFS)
+        self._drain()
+
+    def _on_worker_poll(self, worker: SFSWorker, task: Task) -> None:
+        """4.3: periodic kernel-status poll of the FILTER function."""
+        worker.poll_handle = None
+        if worker.entry is None or worker.entry.task is not task:
+            return  # stale timer
+        self.overhead.record_poll(self.sim.now, self.config.poll_cost)
+        state = self.machine.poll_state(task)
+        if state is TaskState.BLOCKED:
+            # running -> sleeping transition detected: stop timekeeping,
+            # record the unused slice, drop priority, take the next one.
+            used = task.cpu_time - worker.cpu_at_assign
+            left = max(0, worker.slice_at_assign - used)
+            task._sfs_slice_left = left  # type: ignore[attr-defined]
+            entry = worker.entry
+            self.stats.demoted_io += 1
+            self._sched_op()
+            self._by_tid.pop(task.tid, None)
+            worker.clear()
+            self.machine.set_policy(task, SchedPolicy.CFS)
+            if left > 0:
+                self._watch_task(entry)
+            else:
+                self.stats.demoted_io_exhausted += 1
+                task._sfs_demoted = True  # type: ignore[attr-defined]
+            self._drain()
+        elif state is TaskState.FINISHED:  # defensive; finish cb handles it
+            worker.clear()
+            self._drain()
+        else:
+            worker.poll_handle = self.sim.schedule(
+                self.config.poll_interval, self._on_worker_poll, worker, task
+            )
+
+    # ==================================================================
+    # blocked-function watch list (§V-D)
+    # ==================================================================
+    def _watch_task(self, entry: QueueEntry) -> None:
+        self._watch[entry.task.tid] = entry
+        if not self._watch_poll_active:
+            self._watch_poll_active = True
+            self.sim.schedule(self.config.poll_interval, self._on_watch_poll)
+
+    def _on_watch_poll(self) -> None:
+        now = self.sim.now
+        woke: List[QueueEntry] = []
+        for tid in list(self._watch):
+            entry = self._watch[tid]
+            self.overhead.record_poll(now, self.config.poll_cost)
+            state = self.machine.poll_state(entry.task)
+            if state is TaskState.FINISHED:
+                self.stats.finished_while_watched += 1
+                del self._watch[tid]
+            elif state in (TaskState.READY, TaskState.RUNNING):
+                del self._watch[tid]
+                woke.append(entry)
+        for entry in woke:
+            self.stats.resubmitted += 1
+            self._push(
+                QueueEntry(
+                    task=entry.task,
+                    enqueue_ts=now,
+                    invoke_ts=entry.invoke_ts,
+                    resumed=True,
+                )
+            )
+        if self._watch:
+            self.sim.schedule(self.config.poll_interval, self._on_watch_poll)
+        else:
+            self._watch_poll_active = False
+        if woke:
+            self._drain()
+
+    # ==================================================================
+    def _sched_op(self) -> None:
+        self.overhead.record_sched_op(self.sim.now, self.config.sched_op_cost)
+
+    def busy_workers(self) -> int:
+        return sum(1 for w in self.workers if not w.idle)

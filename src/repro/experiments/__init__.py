@@ -1,0 +1,17 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Each ``figXX``/``tableX`` module exposes:
+
+* a frozen ``Config`` dataclass with paper-scale defaults and a
+  ``scaled()`` constructor producing a laptop-scale variant for the
+  benchmark suite;
+* ``run(config, seed) -> result`` performing the actual experiment;
+* ``render(result) -> str`` producing the ASCII table/series that
+  corresponds to the published figure.
+
+The shared driver lives in :mod:`repro.experiments.runner`.
+"""
+
+from repro.experiments.runner import RunConfig, run_workload
+
+__all__ = ["RunConfig", "run_workload"]

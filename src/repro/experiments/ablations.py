@@ -1,0 +1,163 @@
+"""Design-choice ablations called out in DESIGN.md §4.
+
+* global queue vs per-worker multi-queue dispatch (§VI's argument);
+* discrete vs fluid engine agreement on the same workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.core.config import SFSConfig
+from repro.experiments.common import azure_sampled_workload, machine
+from repro.experiments.runner import RunConfig, run_workload
+from repro.metrics.collector import RunResult
+
+
+@dataclass(frozen=True)
+class Config:
+    n_requests: int = 20_000
+    n_cores: int = 12
+    load: float = 1.0
+    #: context-switch cost sweep (us): how the SFS/CFS gap depends on
+    #: the capacity lost to switching (DESIGN.md fidelity note).
+    ctx_costs: tuple = (0, 150, 500, 1500)
+
+    @classmethod
+    def scaled(cls) -> "Config":
+        return cls(n_requests=2_000, n_cores=8)
+
+
+@dataclass
+class Result:
+    queue_runs: Dict[str, RunResult]     # global vs multi-queue SFS
+    engine_runs: Dict[str, RunResult]    # CFS on fluid vs discrete
+    ctx_cost_runs: Dict[int, Dict[str, RunResult]]  # cost -> sched -> run
+    #: SFS on the discrete engine with RT bandwidth throttling off/on
+    throttle_runs: Dict[str, RunResult]
+    config: Config
+
+
+def run(config: Config, seed: int = 0) -> Result:
+    wl = azure_sampled_workload(
+        config.n_requests, config.n_cores, config.load, seed
+    )
+    base = RunConfig(scheduler="sfs", machine=machine(config.n_cores))
+    queue_runs = {
+        "global-queue": run_workload(wl, base),
+        "multi-queue": run_workload(
+            wl, replace(base, sfs=SFSConfig(per_worker_queues=True))
+        ),
+    }
+    engine_runs = {
+        engine: run_workload(
+            wl, RunConfig(scheduler="cfs", engine=engine,
+                          machine=machine(config.n_cores))
+        )
+        for engine in ("fluid", "discrete")
+    }
+    ctx_cost_runs: Dict[int, Dict[str, RunResult]] = {}
+    for cost in config.ctx_costs:
+        m = machine(config.n_cores, ctx_switch_cost=cost)
+        ctx_cost_runs[cost] = {
+            sched: run_workload(wl, RunConfig(scheduler=sched, machine=m))
+            for sched in ("cfs", "sfs")
+        }
+    # RT bandwidth: off (the paper's implicit setup) vs the Linux
+    # default 950 ms / 1 s, which guarantees demoted CFS longs 5 %
+    from dataclasses import replace as _replace
+
+    from repro.sim.units import MS, SEC
+
+    wl_small = azure_sampled_workload(
+        min(config.n_requests, 1_500), config.n_cores, config.load, seed
+    )
+    throttle_runs = {}
+    for label, bw in (("rt-unlimited", None), ("rt-950ms/1s", (950 * MS, 1 * SEC))):
+        m = _replace(machine(config.n_cores), rt_bandwidth=bw)
+        throttle_runs[label] = run_workload(
+            wl_small, RunConfig(scheduler="sfs", engine="discrete", machine=m)
+        )
+    return Result(
+        queue_runs=queue_runs,
+        engine_runs=engine_runs,
+        ctx_cost_runs=ctx_cost_runs,
+        throttle_runs=throttle_runs,
+        config=config,
+    )
+
+
+def cfs_penalty_by_cost(result: Result) -> Dict[int, float]:
+    """Mean CFS/SFS turnaround ratio per switch cost — grows with cost."""
+    out = {}
+    for cost, by in result.ctx_cost_runs.items():
+        out[cost] = float(
+            (by["cfs"].turnarounds / np.maximum(by["sfs"].turnarounds, 1)).mean()
+        )
+    return out
+
+
+def engine_disagreement(result: Result) -> float:
+    """Median relative turnaround difference between the two engines."""
+    f = result.engine_runs["fluid"].turnarounds
+    d = result.engine_runs["discrete"].turnarounds
+    return float(np.median(np.abs(f - d) / np.maximum(d, 1)))
+
+
+def render(result: Result) -> str:
+    rows = [
+        (name, f"{np.percentile(r.turnarounds, 50)/1e3:.1f}",
+         f"{np.percentile(r.turnarounds, 99)/1e3:.1f}",
+         f"{r.turnarounds.mean()/1e3:.1f}")
+        for name, r in result.queue_runs.items()
+    ]
+    t1 = format_table(
+        ["dispatch", "p50 (ms)", "p99 (ms)", "mean (ms)"],
+        rows,
+        title="ablation: global queue vs per-worker queues (SFS)",
+    )
+    rows2 = [
+        (name, f"{np.percentile(r.turnarounds, 50)/1e3:.1f}",
+         f"{r.turnarounds.mean()/1e3:.1f}")
+        for name, r in result.engine_runs.items()
+    ]
+    t2 = format_table(
+        ["engine", "p50 (ms)", "mean (ms)"],
+        rows2,
+        title=(
+            "ablation: CFS on fluid vs discrete engine "
+            f"(median per-request disagreement {engine_disagreement(result):.1%})"
+        ),
+    )
+    rows3 = [
+        (f"{cost} us", f"{ratio:.2f}x")
+        for cost, ratio in cfs_penalty_by_cost(result).items()
+    ]
+    t3 = format_table(
+        ["ctx switch cost", "mean CFS/SFS duration ratio"],
+        rows3,
+        title="ablation: context-switch cost vs the CFS penalty",
+    )
+    rows4 = []
+    for label, r in result.throttle_runs.items():
+        t = r.turnarounds
+        longs = r.array("cpu_demand") >= 400_000
+        rows4.append(
+            (label,
+             f"{np.percentile(t, 50) / 1e3:.1f}",
+             f"{t[longs].mean() / 1e3:.0f}" if longs.any() else "-",
+             f"{t[~longs].mean() / 1e3:.1f}")
+        )
+    t4 = format_table(
+        ["RT bandwidth", "p50 (ms)", "long mean (ms)", "short mean (ms)"],
+        rows4,
+        title=(
+            "ablation: sched_rt_runtime_us throttling under SFS "
+            "(the 5% CFS guarantee relieves demoted longs)"
+        ),
+    )
+    return "\n\n".join((t1, t2, t3, t4))

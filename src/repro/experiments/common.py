@@ -1,0 +1,86 @@
+"""Shared pieces for the experiment modules.
+
+Every experiment has a *paper-scale* configuration (the sizes the paper
+ran: 12-72 cores, 10k-50k requests) and a *scaled* one that finishes in
+seconds for the benchmark suite.  Shape conclusions (who wins, rough
+factors) hold at both scales; EXPERIMENTS.md records the scaled numbers
+actually measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.machine.base import MachineParams
+from repro.workload.faasbench import FaaSBench, FaaSBenchConfig
+from repro.workload.spec import Workload
+
+#: the paper's short/long split: Table I's contiguous sub-400 ms bins
+#: cover ~80 % of requests; everything >= the 1550 ms bin is "long".
+SHORT_CPU_BOUND_US = 400_000
+
+#: CPU time lost per context switch in the experiment machines (us):
+#: direct kernel cost (~3-5 us) plus cache/TLB refill for Docker-hosted
+#: Python function processes with large working sets (0.1-1.5 ms; cf. Li et al.,
+#: "Quantifying the cost of context switch", ExpCS'07).  This loss is
+#: what makes heavily-slicing CFS shed capacity at saturation relative
+#: to run-to-completion FILTER — the mechanism behind the paper's tail
+#: crossover (Fig 15).  Ablated in ``repro.experiments.ablations``.
+CTX_SWITCH_COST = 500
+
+
+def azure_sampled_workload(
+    n_requests: int,
+    n_cores: int,
+    load: float,
+    seed: int,
+    iat_kind: str = "poisson",
+    io_fraction: float = 0.0,
+    app_mix: Tuple[Tuple[str, float], ...] = (("fib", 1.0),),
+    n_spikes: int = 5,
+    spike_factor: float = 20.0,
+    spike_len: int = 120,
+) -> Workload:
+    """The Azure-sampled FaaSBench workload used throughout §VIII/§IX."""
+    cfg = FaaSBenchConfig(
+        n_requests=n_requests,
+        n_cores=n_cores,
+        target_load=load,
+        iat_kind=iat_kind,
+        io_fraction=io_fraction,
+        app_mix=app_mix,
+        n_spikes=n_spikes,
+        spike_factor=spike_factor,
+        spike_len=spike_len,
+    )
+    return FaaSBench(cfg, seed=seed).generate()
+
+
+def machine(n_cores: int, ctx_switch_cost: int = CTX_SWITCH_COST) -> MachineParams:
+    return MachineParams(n_cores=n_cores, ctx_switch_cost=ctx_switch_cost)
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Experiment sizing knobs shared by most figures."""
+
+    n_requests: int
+    n_cores: int
+    engine: str = "fluid"
+
+    @classmethod
+    def paper(cls) -> "Scale":
+        """The paper's standalone setup: c5a.4xlarge-ish, Azure Day-1
+        sample size (downscaled trace of ~50k requests)."""
+        return cls(n_requests=49_712, n_cores=12, engine="fluid")
+
+    @classmethod
+    def bench(cls) -> "Scale":
+        """Seconds-scale sizing for pytest-benchmark."""
+        return cls(n_requests=4_000, n_cores=12, engine="fluid")
+
+    @classmethod
+    def test(cls) -> "Scale":
+        """Sub-second sizing for the integration tests."""
+        return cls(n_requests=800, n_cores=8, engine="fluid")

@@ -1,0 +1,109 @@
+"""Extension: global scheduling across FaaS servers (§VIII-A future work).
+
+The paper notes SFS's long-function penalty could be mitigated by "a
+global FaaS scheduler offloading longer functions to relatively
+lighter-loaded FaaS servers".  This experiment runs a cluster of
+SFS-enabled OpenLambda hosts under four global placement policies and
+measures exactly that: what happens to the long-function tail (and the
+short majority) when the dispatcher is load- or demand-aware.
+
+Expected shape: load-aware policies (least_loaded / least_work /
+offload_long) cut the long-function mean and the cluster p99 sharply
+versus round-robin, while the short functions — already protected by
+per-host SFS — stay flat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.experiments.common import SHORT_CPU_BOUND_US, azure_sampled_workload, machine
+from repro.faas.cluster import PLACEMENT_POLICIES, ClusterConfig, run_cluster
+from repro.faas.openlambda import OpenLambdaConfig
+from repro.metrics.collector import RunResult
+
+
+@dataclass(frozen=True)
+class Config:
+    n_requests: int = 16_000
+    n_hosts: int = 4
+    cores_per_host: int = 8
+    load: float = 1.0
+    scheduler: str = "sfs"
+    policies: Tuple[str, ...] = PLACEMENT_POLICIES
+
+    @classmethod
+    def scaled(cls) -> "Config":
+        return cls(n_requests=4_000)
+
+
+@dataclass
+class Result:
+    runs: Dict[str, RunResult]
+    config: Config
+
+
+def run(config: Config, seed: int = 0) -> Result:
+    total_cores = config.n_hosts * config.cores_per_host
+    wl = azure_sampled_workload(config.n_requests, total_cores, config.load, seed)
+    host = OpenLambdaConfig(
+        machine=machine(config.cores_per_host),
+        scheduler=config.scheduler,
+        engine="fluid",
+        seed=seed,
+    )
+    runs = {
+        policy: run_cluster(
+            wl, ClusterConfig(n_hosts=config.n_hosts, host=host, placement=policy)
+        )
+        for policy in config.policies
+    }
+    return Result(runs=runs, config=config)
+
+
+def long_tail_gain(result: Result, policy: str) -> float:
+    """Long-function mean under round_robin over the given policy."""
+    base = result.runs["round_robin"]
+    other = result.runs[policy]
+    longs_b = base.array("cpu_demand") >= SHORT_CPU_BOUND_US
+    longs_o = other.array("cpu_demand") >= SHORT_CPU_BOUND_US
+    return float(
+        base.turnarounds[longs_b].mean() / other.turnarounds[longs_o].mean()
+    )
+
+
+def render(result: Result) -> str:
+    rows = []
+    for policy, r in result.runs.items():
+        t = r.turnarounds
+        longs = r.array("cpu_demand") >= SHORT_CPU_BOUND_US
+        rows.append(
+            (
+                policy,
+                f"{np.percentile(t, 50) / 1e3:.1f}",
+                f"{np.percentile(t, 99) / 1e3:.0f}",
+                f"{t[~longs].mean() / 1e3:.1f}",
+                f"{t[longs].mean() / 1e3:.0f}",
+            )
+        )
+    table = format_table(
+        ["placement", "p50 (ms)", "p99 (ms)", "short mean (ms)",
+         "long mean (ms)"],
+        rows,
+        title=(
+            f"ext-cluster: global placement over {result.config.n_hosts} "
+            f"SFS hosts (SVIII-A future work: offload longs to "
+            "lighter-loaded servers)"
+        ),
+    )
+    gains = [
+        f"long-function gain of {p} over round_robin: "
+        f"{long_tail_gain(result, p):.2f}x"
+        for p in result.runs
+        if p != "round_robin"
+    ]
+    return table + "\n" + "\n".join(gains)

@@ -1,0 +1,115 @@
+"""Extension: cold starts vs the SFS benefit (§X's discussion).
+
+The paper pre-warms every container and argues in §X that with modern
+keep-alive policies most requests avoid cold starts, making OS-level
+scheduling the "last mile" that matters.  This experiment quantifies
+that argument: we enable a keep-alive container cache with cold-start
+penalties and sweep the TTL, measuring (a) the cold-start rate and
+(b) how much of SFS's improvement over CFS survives.
+
+Expected shape: with generous keep-alive (low cold rate) SFS's benefit
+is intact; as the TTL shrinks, cold-start latency — identical under
+both schedulers — dilutes the relative gain, exactly the offsetting
+effect §X warns about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.experiments.common import azure_sampled_workload, machine
+from repro.faas.coldstart import ColdStartConfig
+from repro.faas.openlambda import OpenLambdaConfig, run_openlambda
+from repro.metrics.collector import RunResult
+from repro.sim.units import MS, SEC
+from repro.workload.faasbench import OPENLAMBDA_MIX
+
+
+@dataclass(frozen=True)
+class Config:
+    n_requests: int = 20_000
+    n_cores: int = 24
+    load: float = 0.9
+    #: keep-alive TTLs to sweep; None = the paper's pre-warmed setup.
+    keep_alive_ttls: Tuple[Optional[int], ...] = (
+        None,
+        600 * SEC,   # Azure's classic 10-minute policy
+        10 * SEC,
+        1 * SEC,
+    )
+    engine: str = "fluid"
+
+    @classmethod
+    def scaled(cls) -> "Config":
+        return cls(n_requests=5_000)
+
+
+@dataclass
+class Result:
+    #: ttl (None = prewarmed) -> scheduler -> RunResult
+    runs: Dict[Optional[int], Dict[str, RunResult]]
+    config: Config
+
+
+def run(config: Config, seed: int = 0) -> Result:
+    wl = azure_sampled_workload(
+        config.n_requests, config.n_cores, config.load, seed,
+        app_mix=OPENLAMBDA_MIX,
+    )
+    base = OpenLambdaConfig(
+        machine=machine(config.n_cores), engine=config.engine, seed=seed
+    )
+    runs: Dict[Optional[int], Dict[str, RunResult]] = {}
+    for ttl in config.keep_alive_ttls:
+        cfg = base if ttl is None else replace(
+            base, coldstart=ColdStartConfig(keep_alive=ttl)
+        )
+        runs[ttl] = {
+            sched: run_openlambda(wl, cfg.with_scheduler(sched))
+            for sched in ("cfs", "sfs")
+        }
+    return Result(runs=runs, config=config)
+
+
+def cold_rate(result: Result, ttl: Optional[int]) -> float:
+    stats = result.runs[ttl]["sfs"].meta.get("coldstart_stats")
+    return stats.cold_rate if stats is not None else 0.0
+
+
+def sfs_gain(result: Result, ttl: Optional[int]) -> float:
+    """Median end-to-end CFS/SFS ratio (includes cold-start latency)."""
+    by = result.runs[ttl]
+    c = by["cfs"].array("end_to_end")
+    s = by["sfs"].array("end_to_end")
+    return float(np.median(c / np.maximum(s, 1)))
+
+
+def render(result: Result) -> str:
+    rows = []
+    for ttl in result.config.keep_alive_ttls:
+        label = "prewarmed" if ttl is None else f"TTL {ttl / SEC:g}s"
+        by = result.runs[ttl]
+        c50 = np.median(by["cfs"].array("end_to_end")) / 1e3
+        s50 = np.median(by["sfs"].array("end_to_end")) / 1e3
+        rows.append(
+            (
+                label,
+                f"{cold_rate(result, ttl):.1%}",
+                f"{c50:.0f}",
+                f"{s50:.0f}",
+                f"{sfs_gain(result, ttl):.2f}x",
+            )
+        )
+    return format_table(
+        ["container policy", "cold rate", "CFS p50 (ms)", "SFS p50 (ms)",
+         "median CFS/SFS"],
+        rows,
+        title=(
+            "ext-coldstart: keep-alive TTL vs cold-start rate vs the SFS "
+            "benefit (SX: cold starts offset SFS, warm caches restore it)"
+        ),
+    )

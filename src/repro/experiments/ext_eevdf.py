@@ -1,0 +1,94 @@
+"""Extension: SFS on EEVDF (§X's "Why User-Space?" claim, tested).
+
+The paper argues a user-space scheduler is future-proof because it
+steers whatever fair class the kernel ships.  Linux 6.6 replaced CFS
+with EEVDF, so the claim is now directly testable: run the same
+workload under {CFS, EEVDF} x {plain, +SFS} on the discrete engine and
+check that (a) the two fair classes behave comparably when plain, and
+(b) SFS delivers its short-function win on both, unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.experiments.common import CTX_SWITCH_COST, azure_sampled_workload
+from repro.experiments.runner import RunConfig, run_workload
+from repro.machine.base import MachineParams
+from repro.metrics.collector import RunResult
+
+
+@dataclass(frozen=True)
+class Config:
+    n_requests: int = 5_000
+    n_cores: int = 12
+    load: float = 1.0
+    fair_classes: Tuple[str, ...] = ("cfs", "eevdf")
+
+    @classmethod
+    def scaled(cls) -> "Config":
+        return cls(n_requests=1_500)
+
+
+@dataclass
+class Result:
+    #: fair class -> {"plain": run, "sfs": run}
+    runs: Dict[str, Dict[str, RunResult]]
+    config: Config
+
+
+def run(config: Config, seed: int = 0) -> Result:
+    wl = azure_sampled_workload(
+        config.n_requests, config.n_cores, config.load, seed
+    )
+    runs: Dict[str, Dict[str, RunResult]] = {}
+    for fair in config.fair_classes:
+        m = MachineParams(
+            n_cores=config.n_cores,
+            ctx_switch_cost=CTX_SWITCH_COST,
+            fair_class=fair,
+        )
+        base = RunConfig(engine="discrete", machine=m)
+        runs[fair] = {
+            "plain": run_workload(wl, base),
+            "sfs": run_workload(wl, base.with_scheduler("sfs")),
+        }
+    return Result(runs=runs, config=config)
+
+
+def sfs_speedup(result: Result, fair: str) -> float:
+    """Median plain/SFS turnaround ratio on the given fair class."""
+    by = result.runs[fair]
+    p = np.median(by["plain"].turnarounds)
+    s = np.median(by["sfs"].turnarounds)
+    return float(p / max(s, 1))
+
+
+def render(result: Result) -> str:
+    rows = []
+    for fair, by in result.runs.items():
+        for mode, r in by.items():
+            t = r.turnarounds
+            rows.append(
+                (
+                    fair,
+                    mode,
+                    f"{np.percentile(t, 50) / 1e3:.1f}",
+                    f"{np.percentile(t, 90) / 1e3:.1f}",
+                    f"{t.mean() / 1e3:.1f}",
+                )
+            )
+    table = format_table(
+        ["fair class", "mode", "p50 (ms)", "p90 (ms)", "mean (ms)"],
+        rows,
+        title="ext-eevdf: SFS is fair-class-agnostic (SX, 'Why User-Space?')",
+    )
+    lines = [
+        f"median SFS speedup on {fair}: {sfs_speedup(result, fair):.1f}x"
+        for fair in result.runs
+    ]
+    return table + "\n" + "\n".join(lines)

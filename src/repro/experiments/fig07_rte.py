@@ -1,0 +1,65 @@
+"""Fig 7: RTE CDFs for the standalone load sweep.
+
+Anchors from the paper: under SFS, ~93 % / ~88 % of requests achieve
+RTE >= 0.95 at 65 % / 80 % load; under CFS only ~55 % / ~35 % do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analysis.report import format_table
+from repro.experiments import loadsweep
+from repro.metrics.stats import fraction_at_least, fraction_below
+
+Config = loadsweep.Config
+Result = loadsweep.Result
+run = loadsweep.run
+
+#: (load, scheduler) -> paper's fraction with RTE >= 0.95
+PAPER_ANCHORS: Dict[Tuple[float, str], float] = {
+    (0.65, "sfs"): 0.93,
+    (0.8, "sfs"): 0.88,
+    (0.65, "cfs"): 0.55,
+    (0.8, "cfs"): 0.35,
+}
+
+
+def rte_table(result: Result) -> List[Tuple[str, str, float, float, float]]:
+    rows = []
+    for load, by_sched in result.runs.items():
+        for name, r in by_sched.items():
+            rtes = r.rtes
+            rows.append(
+                (
+                    f"{load:.0%}",
+                    name,
+                    fraction_at_least(rtes, 0.95),
+                    fraction_below(rtes, 0.5),
+                    fraction_below(rtes, 0.2),
+                )
+            )
+    return rows
+
+
+def render(result: Result) -> str:
+    rows = []
+    for load_s, name, ge95, lt50, lt20 in rte_table(result):
+        load = float(load_s.rstrip("%")) / 100
+        paper = PAPER_ANCHORS.get((load, name))
+        rows.append(
+            (
+                load_s,
+                name,
+                f"{ge95:.3f}",
+                f"{paper:.2f}" if paper is not None else "-",
+                f"{lt50:.3f}",
+                f"{lt20:.3f}",
+            )
+        )
+    return format_table(
+        ["load", "sched", "P(RTE>=0.95)", "paper", "P(RTE<0.5)", "P(RTE<0.2)"],
+        rows,
+        title="Fig 7: run-time effectiveness distribution",
+    )

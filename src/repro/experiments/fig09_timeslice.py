@@ -1,0 +1,69 @@
+"""Fig 9: adaptive time-slice tuning vs statically fixed slices.
+
+SFS's sliding-window heuristic against fixed S in {50, 100, 200} ms at
+100 % load.  Paper shape: no static value wins overall — S=50 ms beats
+adaptive for ~30 % of (short) requests but badly hurts the rest, while
+long fixed slices inflate queuing delay; adaptive gives the best mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.analysis.report import format_cdf_probes
+from repro.core.config import SFSConfig
+from repro.experiments.common import azure_sampled_workload, machine
+from repro.experiments.runner import RunConfig, run_workload
+from repro.metrics.collector import RunResult
+from repro.sim.units import MS
+
+
+@dataclass(frozen=True)
+class Config:
+    n_requests: int = 49_712
+    n_cores: int = 12
+    load: float = 1.0
+    engine: str = "fluid"
+    static_slices_ms: Tuple[int, ...] = (50, 100, 200)
+
+    @classmethod
+    def scaled(cls) -> "Config":
+        return cls(n_requests=4_000)
+
+
+@dataclass
+class Result:
+    runs: Dict[str, RunResult]   # "adaptive" | "S=50ms" | ...
+    config: Config
+
+
+def run(config: Config, seed: int = 0) -> Result:
+    wl = azure_sampled_workload(config.n_requests, config.n_cores, config.load, seed)
+    base = RunConfig(
+        scheduler="sfs", engine=config.engine, machine=machine(config.n_cores)
+    )
+    runs: Dict[str, RunResult] = {}
+    runs["adaptive"] = run_workload(wl, base)
+    for s_ms in config.static_slices_ms:
+        sfs_cfg = SFSConfig(adaptive=False, initial_slice=s_ms * MS)
+        runs[f"S={s_ms}ms"] = run_workload(wl, replace(base, sfs=sfs_cfg))
+    return Result(runs=runs, config=config)
+
+
+def mean_turnaround(result: Result) -> Dict[str, float]:
+    return {name: float(r.turnarounds.mean()) for name, r in result.runs.items()}
+
+
+def render(result: Result) -> str:
+    series = {name: r.turnarounds for name, r in result.runs.items()}
+    table = format_cdf_probes(
+        series,
+        probes=(10, 30, 50, 75, 90, 99),
+        title=f"Fig 9: adaptive vs fixed time slice, load {result.config.load:.0%} (ms)",
+    )
+    means = mean_turnaround(result)
+    best = min(means, key=means.get)
+    return table + f"\nbest mean turnaround: {best} ({means[best]/1e3:.1f} ms)"

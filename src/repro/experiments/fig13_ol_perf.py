@@ -1,0 +1,46 @@
+"""Fig 13: OpenLambda end-to-end duration CDFs (fib+md+sa)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.analysis.report import format_cdf_probes, format_table
+from repro.experiments import openlambda_sweep
+
+Config = openlambda_sweep.Config
+Result = openlambda_sweep.Result
+run = openlambda_sweep.run
+
+
+def mean_slowdown_cfs(result: Result, load: float) -> float:
+    """Mean per-request CFS/SFS duration ratio (paper: 1.141 at 80 %)."""
+    by = result.runs[load]
+    return float(
+        (by["cfs"].turnarounds / np.maximum(by["sfs"].turnarounds, 1)).mean()
+    )
+
+
+def render(result: Result) -> str:
+    parts = []
+    for load, by_sched in result.runs.items():
+        series = {f"OL+{n}": r.turnarounds for n, r in by_sched.items()}
+        parts.append(
+            format_cdf_probes(
+                series,
+                title=f"Fig 13: OpenLambda execution duration (ms), load {load:.0%}",
+            )
+        )
+    rows = [
+        (f"{load:.0%}", f"{mean_slowdown_cfs(result, load):.3f}")
+        for load in result.runs
+    ]
+    parts.append(
+        format_table(
+            ["load", "mean CFS/SFS duration ratio"],
+            rows,
+            title="average CFS slowdown vs SFS (paper: 1.141x at 80% load)",
+        )
+    )
+    return "\n\n".join(parts)

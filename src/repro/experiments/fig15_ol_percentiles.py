@@ -1,0 +1,54 @@
+"""Fig 15: OpenLambda percentile breakdowns and p99 speedups.
+
+Paper anchors: OpenLambda+SFS holds a p99 of ~4.75 s across loads;
+relative to OpenLambda+CFS that is a 1.65x / 4.04x / 7.93x p99 speedup
+at 80 % / 90 % / 100 % load.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.experiments import openlambda_sweep
+
+Config = openlambda_sweep.Config
+Result = openlambda_sweep.Result
+run = openlambda_sweep.run
+
+QS = (50.0, 90.0, 99.0)
+
+#: paper's p99 CFS/SFS speedups per load
+PAPER_P99_SPEEDUP = {0.8: 1.65, 0.9: 4.04, 1.0: 7.93}
+
+
+def p99_speedup(result: Result, load: float) -> float:
+    by = result.runs[load]
+    cfs = np.percentile(by["cfs"].turnarounds, 99)
+    sfs = np.percentile(by["sfs"].turnarounds, 99)
+    return float(cfs / sfs)
+
+
+def render(result: Result) -> str:
+    rows = []
+    for load, by_sched in result.runs.items():
+        for name, r in by_sched.items():
+            t = r.turnarounds / 1e6
+            rows.append(
+                (f"{load:.0%}", f"OL+{name}")
+                + tuple(f"{float(np.percentile(t, q)):.3f}" for q in QS)
+            )
+    table = format_table(
+        ["load", "system"] + [f"p{q:g} (s)" for q in QS],
+        rows,
+        title="Fig 15: OpenLambda percentile breakdown",
+    )
+    lines = []
+    for load in result.runs:
+        paper = PAPER_P99_SPEEDUP.get(round(load, 2), None)
+        paper_s = f" (paper {paper}x)" if paper else ""
+        lines.append(f"p99 speedup SFS over CFS at {load:.0%}: "
+                     f"{p99_speedup(result, load):.2f}x{paper_s}")
+    return table + "\n" + "\n".join(lines)

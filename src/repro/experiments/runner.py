@@ -1,0 +1,121 @@
+"""Shared experiment driver: replay one workload under one scheduler.
+
+The same :class:`repro.workload.spec.Workload` can be executed under
+``cfs`` / ``fifo`` / ``rr`` (plain kernel classes), ``sfs`` (CFS +
+the user-space SFS layer), ``srtf`` (the clairvoyant oracle) or
+``ideal`` (infinite resources), on either machine engine.  Per-request
+results come back as a :class:`repro.metrics.collector.RunResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import SFSConfig
+from repro.core.sfs import SFS
+from repro.machine.base import MachineParams
+from repro.machine.discrete import DiscreteMachine
+from repro.machine.fluid import FluidMachine
+from repro.metrics.collector import RunResult, build_records
+from repro.sched.ideal import IdealMachine
+from repro.sched.srtf import SRTFMachine
+from repro.sim.engine import Simulator
+from repro.sim.task import SchedPolicy, Task
+from repro.workload.spec import RequestSpec, Workload
+
+SCHEDULERS = ("cfs", "fifo", "rr", "sfs", "srtf", "ideal")
+ENGINES = {"fluid": FluidMachine, "discrete": DiscreteMachine}
+
+_POLICY_FOR = {
+    "cfs": SchedPolicy.CFS,
+    "fifo": SchedPolicy.FIFO,
+    "rr": SchedPolicy.RR,
+    "sfs": SchedPolicy.CFS,  # functions start in CFS; SFS promotes them
+}
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """How to execute a workload."""
+
+    scheduler: str = "cfs"
+    engine: str = "fluid"
+    machine: MachineParams = field(default_factory=MachineParams)
+    sfs: SFSConfig = field(default_factory=SFSConfig)
+    #: FaaS-server -> SFS notification latency (the paper's UDP message,
+    #: "hundreds of microseconds" §VI).
+    notify_latency: int = 200
+
+    def __post_init__(self) -> None:
+        if self.scheduler not in SCHEDULERS:
+            raise ValueError(f"unknown scheduler {self.scheduler!r}")
+        if self.engine not in ENGINES:
+            raise ValueError(f"unknown engine {self.engine!r}")
+        if self.notify_latency < 0:
+            raise ValueError("notify_latency must be >= 0")
+
+    def with_scheduler(self, scheduler: str) -> "RunConfig":
+        return replace(self, scheduler=scheduler)
+
+
+def _make_machine(sim: Simulator, cfg: RunConfig):
+    if cfg.scheduler == "srtf":
+        return SRTFMachine(sim, cfg.machine)
+    if cfg.scheduler == "ideal":
+        return IdealMachine(sim, cfg.machine)
+    return ENGINES[cfg.engine](sim, cfg.machine)
+
+
+def run_workload(workload: Workload, cfg: RunConfig) -> RunResult:
+    """Execute ``workload`` under ``cfg`` and collect per-request records."""
+    sim = Simulator()
+    machine = _make_machine(sim, cfg)
+    sfs: Optional[SFS] = None
+    if cfg.scheduler == "sfs":
+        sfs = SFS(machine, cfg.sfs)
+
+    policy = _POLICY_FOR.get(cfg.scheduler, SchedPolicy.CFS)
+    pairs: List[Tuple[RequestSpec, Task]] = []
+
+    def dispatch(spec: RequestSpec) -> None:
+        task = spec.make_task(policy=policy)
+        pairs.append((spec, task))
+        machine.spawn(task)
+        if sfs is not None:
+            if cfg.notify_latency > 0:
+                sim.schedule(cfg.notify_latency, sfs.submit, task, spec.arrival)
+            else:
+                sfs.submit(task, spec.arrival)
+
+    for spec in workload:
+        sim.schedule_at(spec.arrival, dispatch, spec)
+    sim.run()
+
+    unfinished = [s.req_id for s, t in pairs if not t.finished]
+    if unfinished:
+        raise RuntimeError(
+            f"{len(unfinished)} requests never finished under "
+            f"{cfg.scheduler}/{cfg.engine} (first: {unfinished[:5]})"
+        )
+
+    return RunResult(
+        scheduler=cfg.scheduler,
+        engine=cfg.engine,
+        records=build_records(pairs),
+        sim_time=sim.now,
+        busy_time=machine.busy_time,
+        n_cores=machine.n_cores,
+        sfs_stats=sfs.stats if sfs else None,
+        slice_timeline=list(sfs.monitor.timeline) if sfs else None,
+        queue_delay_samples=sfs.delay_samples() if sfs else None,
+        overhead=sfs.overhead if sfs else None,
+        meta=dict(workload.meta),
+    )
+
+
+def run_many(
+    workload: Workload, base: RunConfig, schedulers: Tuple[str, ...]
+) -> Dict[str, RunResult]:
+    """Replay the same workload under several schedulers (paired runs)."""
+    return {s: run_workload(workload, base.with_scheduler(s)) for s in schedulers}

@@ -1,0 +1,83 @@
+"""Sensitivity sweeps for SFS's remaining tunables (DESIGN.md §4).
+
+The paper fixes the sliding window N = 100 and the overload factor
+O = 3 "empirically"; these ablations sweep both to show the chosen
+values sit on the flat part of the curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
+
+from repro.analysis.report import format_table
+from repro.core.config import SFSConfig
+from repro.experiments.common import azure_sampled_workload, machine
+from repro.experiments.runner import RunConfig, run_workload
+from repro.metrics.collector import RunResult
+
+
+@dataclass(frozen=True)
+class Config:
+    n_requests: int = 20_000
+    n_cores: int = 12
+    load: float = 0.9
+    engine: str = "fluid"
+    windows: Tuple[int, ...] = (10, 100, 1000)
+    overload_factors: Tuple[float, ...] = (1.0, 3.0, 10.0)
+
+    @classmethod
+    def scaled(cls) -> "Config":
+        return cls(n_requests=3_000)
+
+
+@dataclass
+class Result:
+    window_runs: Dict[int, RunResult]
+    overload_runs: Dict[float, RunResult]
+    config: Config
+
+
+def run(config: Config, seed: int = 0) -> Result:
+    base = RunConfig(
+        scheduler="sfs", engine=config.engine, machine=machine(config.n_cores)
+    )
+    wl = azure_sampled_workload(
+        config.n_requests, config.n_cores, config.load, seed
+    )
+    window_runs = {
+        n: run_workload(wl, replace(base, sfs=SFSConfig(window=n)))
+        for n in config.windows
+    }
+    wl_bursty = azure_sampled_workload(
+        config.n_requests, config.n_cores, config.load, seed, iat_kind="bursty"
+    )
+    overload_runs = {
+        o: run_workload(wl_bursty, replace(base, sfs=SFSConfig(overload_factor=o)))
+        for o in config.overload_factors
+    }
+    return Result(window_runs=window_runs, overload_runs=overload_runs, config=config)
+
+
+def render(result: Result) -> str:
+    rows = [
+        (f"N={n}", f"{r.turnarounds.mean()/1e3:.1f}",
+         f"{(r.sfs_stats.demoted_slice / max(1, r.sfs_stats.submitted)):.3f}")
+        for n, r in result.window_runs.items()
+    ]
+    t1 = format_table(
+        ["window", "mean duration (ms)", "demotion rate"],
+        rows,
+        title="sensitivity: sliding-window length N (paper picks 100)",
+    )
+    rows2 = [
+        (f"O={o:g}", f"{r.turnarounds.mean()/1e3:.1f}",
+         str(r.sfs_stats.bypassed_overload))
+        for o, r in result.overload_runs.items()
+    ]
+    t2 = format_table(
+        ["factor", "mean duration (ms)", "bypassed requests"],
+        rows2,
+        title="sensitivity: overload factor O on a bursty workload (paper picks 3)",
+    )
+    return t1 + "\n\n" + t2

@@ -1,0 +1,82 @@
+"""Table I: duration-bin probabilities and the fib-N mapping.
+
+Validates that FaaSBench reproduces the published distribution: each
+generated workload's empirical bin masses must match the table, and the
+fib durations produced for each N range must land inside the bin's
+duration range (e.g. "fib with an N between 20-26 finishes execution in
+less than 45 ms" -> the (0, 50 ms] bin).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.sim.units import MS
+from repro.workload.distributions import TABLE_I, DurationBin
+from repro.workload.faasbench import FaaSBench, FaaSBenchConfig
+from repro.workload.functions import fib_duration
+
+
+@dataclass(frozen=True)
+class Config:
+    n_requests: int = 50_000
+
+    @classmethod
+    def scaled(cls) -> "Config":
+        return cls(n_requests=10_000)
+
+
+@dataclass
+class Result:
+    #: per bin: (label, paper prob, empirical prob, N range, fib range ms)
+    rows: List[Tuple[str, float, float, str, str]]
+    unbinned_fraction: float
+
+
+def _label(b: DurationBin) -> str:
+    hi = "inf" if b.high_us is None else f"{b.high_us // MS}"
+    return f"{b.low_us // MS}-{hi} ms"
+
+
+def run(config: Config, seed: int = 0) -> Result:
+    wl = FaaSBench(
+        FaaSBenchConfig(n_requests=config.n_requests, jitter_sigma=0.0),
+        seed=seed,
+    ).generate()
+    demands = np.array([r.cpu_demand for r in wl], dtype=np.int64)
+    total_p = sum(b.probability for b in TABLE_I)
+    rows = []
+    binned = 0
+    for b in TABLE_I:
+        hi = b.high_us if b.high_us is not None else np.iinfo(np.int64).max
+        mask = (demands >= b.low_us) & (demands < hi)
+        binned += int(mask.sum())
+        fib_lo = fib_duration(b.n_low) / MS
+        fib_hi = fib_duration(b.n_high) / MS
+        rows.append(
+            (
+                _label(b),
+                b.probability / total_p,
+                float(mask.mean()),
+                f"{b.n_low}-{b.n_high}",
+                f"{fib_lo:.1f}-{fib_hi:.1f}",
+            )
+        )
+    return Result(rows=rows, unbinned_fraction=1.0 - binned / len(demands))
+
+
+def render(result: Result) -> str:
+    rows = [
+        (label, f"{paper:.3f}", f"{emp:.3f}", ns, fib_ms)
+        for label, paper, emp, ns, fib_ms in result.rows
+    ]
+    table = format_table(
+        ["duration bin", "paper P", "measured P", "fib N", "fib ms"],
+        rows,
+        title="Table I: duration-bin probabilities vs FaaSBench output",
+    )
+    return table + f"\nfraction outside all bins: {result.unbinned_fraction:.4f}"

@@ -1,0 +1,21 @@
+"""OpenLambda platform model (§VI, Fig 5, §IX).
+
+Reproduces the deployment the paper ports SFS to: HTTP gateway →
+OpenLambda worker → sandbox server → OS dispatch, with pre-warmed
+Docker-container sandboxes (auto-scaling disabled, as in the paper) and
+a UDP notification from the sandbox server to SFS carrying
+``(pid, invocation timestamp)``.
+"""
+
+from repro.faas.openlambda import OpenLambdaConfig, OpenLambdaPlatform, run_openlambda
+from repro.faas.overheads import HopLatency, OverheadModel
+from repro.faas.sandbox import ContainerPool
+
+__all__ = [
+    "OpenLambdaPlatform",
+    "OpenLambdaConfig",
+    "run_openlambda",
+    "OverheadModel",
+    "HopLatency",
+    "ContainerPool",
+]

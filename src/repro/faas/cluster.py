@@ -1,0 +1,155 @@
+"""Multi-host FaaS cluster with a global dispatcher (paper future work).
+
+§VIII-A closes with: "Longer functions could be potentially offloaded
+to relatively lighter-loaded FaaS servers by the global FaaS scheduler
+to mitigate the performance impact, which we plan to investigate as
+part of our future work."  This module builds that investigation:
+
+* a cluster of :class:`repro.faas.openlambda.OpenLambdaPlatform` hosts
+  sharing one virtual clock;
+* a global dispatcher with pluggable placement policies:
+
+  - ``round_robin``  — the baseline spray;
+  - ``least_loaded`` — host with the fewest outstanding *requests*;
+  - ``least_work``   — host with the least outstanding *predicted CPU
+    work* (demand-aware; predictions from
+    :class:`repro.core.predictor.DurationPredictor` history);
+  - ``offload_long`` — the paper's proposal: short functions spread by
+    request count, predicted-long functions go to the host with the
+    least outstanding work — "relatively lighter-loaded" in the sense
+    that matters to a long function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.predictor import DurationPredictor
+from repro.faas.openlambda import OpenLambdaConfig, OpenLambdaPlatform
+from repro.metrics.collector import RunResult, build_records
+from repro.sim.engine import Simulator
+from repro.sim.task import Task
+from repro.sim.units import MS
+from repro.workload.spec import RequestSpec, Workload
+
+PLACEMENT_POLICIES = ("round_robin", "least_loaded", "least_work", "offload_long")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Cluster layout and placement policy."""
+
+    n_hosts: int = 4
+    host: OpenLambdaConfig = field(default_factory=OpenLambdaConfig)
+    placement: str = "least_loaded"
+    #: predicted CPU demand above which a function counts as "long"
+    #: (Table I's gap: nothing lives between 400 ms and 1550 ms).
+    long_threshold: int = 400 * MS
+
+    def __post_init__(self) -> None:
+        if self.n_hosts <= 0:
+            raise ValueError("n_hosts must be positive")
+        if self.placement not in PLACEMENT_POLICIES:
+            raise ValueError(f"unknown placement {self.placement!r}")
+        if self.long_threshold <= 0:
+            raise ValueError("long_threshold must be positive")
+
+
+class FaaSCluster:
+    """Several OpenLambda hosts behind one global dispatcher."""
+
+    def __init__(self, sim: Simulator, config: ClusterConfig):
+        self.sim = sim
+        self.config = config
+        self.hosts: List[OpenLambdaPlatform] = [
+            OpenLambdaPlatform(sim, replace(config.host, seed=config.host.seed + i))
+            for i in range(config.n_hosts)
+        ]
+        self._rr = 0
+        self.predictor = DurationPredictor()
+        #: per-host outstanding predicted CPU work (us) — an estimator:
+        #: credit the prediction at dispatch, debit the measured CPU at
+        #: finish, and reset whenever the host fully drains (so the
+        #: prediction-vs-actual residue cannot accumulate).
+        self._work: List[float] = [0.0] * config.n_hosts
+        self.placements: List[int] = []
+        for idx, host in enumerate(self.hosts):
+            host.machine.on_finish(
+                lambda task, idx=idx: self._on_host_finish(idx, task)
+            )
+
+    # ------------------------------------------------------------------
+    def dispatch(self, spec: RequestSpec) -> None:
+        """Global scheduler: pick a host and forward the invocation."""
+        idx = self._place(spec)
+        self.placements.append(idx)
+        self._work[idx] += self.predictor.predict(spec.name or spec.app)
+        self.hosts[idx].invoke(spec)
+
+    def _place(self, spec: RequestSpec) -> int:
+        policy = self.config.placement
+        if policy == "round_robin":
+            idx = self._rr % len(self.hosts)
+            self._rr += 1
+            return idx
+        if policy == "least_loaded":
+            return self._argmin(lambda i: self.hosts[i].outstanding)
+        if policy == "least_work":
+            return self._argmin(lambda i: self._work[i])
+        # offload_long
+        predicted = self.predictor.predict(spec.name or spec.app)
+        if predicted >= self.config.long_threshold:
+            return self._argmin(lambda i: self._work[i])
+        return self._argmin(lambda i: self.hosts[i].outstanding)
+
+    def _argmin(self, key) -> int:
+        best, best_val = 0, None
+        for i in range(len(self.hosts)):
+            v = key(i)
+            if best_val is None or v < best_val:
+                best, best_val = i, v
+        return best
+
+    def _on_host_finish(self, idx: int, task: Task) -> None:
+        if task.cpu_time > 0:
+            self.predictor.observe(task.name or task.app, task.cpu_time)
+        self._work[idx] = max(0.0, self._work[idx] - task.cpu_time)
+        if self.hosts[idx].outstanding == 0:
+            self._work[idx] = 0.0  # drained: flush estimator residue
+
+    # ------------------------------------------------------------------
+    @property
+    def pairs(self):
+        out = []
+        for host in self.hosts:
+            out.extend(host.pairs)
+        return out
+
+
+def run_cluster(workload: Workload, config: ClusterConfig) -> RunResult:
+    """Replay a workload through the cluster; records merged across hosts."""
+    sim = Simulator()
+    cluster = FaaSCluster(sim, config)
+    for spec in workload:
+        sim.schedule_at(spec.arrival, cluster.dispatch, spec)
+    sim.run()
+    pairs = cluster.pairs
+    unfinished = [s.req_id for s, t in pairs if not t.finished]
+    if unfinished:
+        raise RuntimeError(f"{len(unfinished)} cluster requests never finished")
+    total_busy = sum(h.machine.busy_time for h in cluster.hosts)
+    total_cores = sum(h.machine.n_cores for h in cluster.hosts)
+    return RunResult(
+        scheduler=f"cluster[{config.placement}]+{config.host.scheduler}",
+        engine=config.host.engine,
+        records=build_records(pairs),
+        sim_time=sim.now,
+        busy_time=total_busy,
+        n_cores=total_cores,
+        meta={
+            "placement": config.placement,
+            "n_hosts": config.n_hosts,
+            "placements": cluster.placements,
+        },
+    )

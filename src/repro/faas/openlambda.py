@@ -1,0 +1,153 @@
+"""OpenLambda end-to-end pipeline (Fig 5) and its run driver.
+
+The invocation path: client → HTTP gateway → OpenLambda worker →
+sandbox server → (warm container) → OS dispatch.  When SFS is ported,
+the sandbox server additionally sends SFS a UDP message with the
+function process' PID and invocation timestamp (§VI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import SFSConfig
+from repro.core.sfs import SFS
+from repro.faas.coldstart import ColdStartConfig, KeepAliveCache
+from repro.faas.overheads import OverheadModel
+from repro.faas.sandbox import ContainerPool
+from repro.machine.base import MachineBase, MachineParams
+from repro.machine.discrete import DiscreteMachine
+from repro.machine.fluid import FluidMachine
+from repro.metrics.collector import RunResult, build_records
+from repro.sim.engine import Simulator
+from repro.sim.rng import SeedLike, make_rng
+from repro.sim.task import SchedPolicy, Task
+from repro.workload.spec import RequestSpec, Workload
+
+
+@dataclass(frozen=True)
+class OpenLambdaConfig:
+    """Platform deployment parameters (§IX uses 72 cores)."""
+
+    machine: MachineParams = field(default_factory=lambda: MachineParams(n_cores=72))
+    engine: str = "fluid"
+    scheduler: str = "cfs"  # "cfs" or "sfs"
+    sfs: SFSConfig = field(default_factory=SFSConfig)
+    overheads: OverheadModel = field(default_factory=OverheadModel)
+    container_capacity: int = 10_000
+    #: None = the paper's pre-warmed setup (zero cold starts, SVI);
+    #: a ColdStartConfig enables keep-alive caching with cold-start
+    #: penalties (SX's discussion, the ext-coldstart experiment).
+    coldstart: Optional[ColdStartConfig] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.scheduler not in ("cfs", "sfs"):
+            raise ValueError("OpenLambda runs use 'cfs' or 'sfs'")
+        if self.engine not in ("fluid", "discrete"):
+            raise ValueError(f"unknown engine {self.engine!r}")
+
+    def with_scheduler(self, scheduler: str) -> "OpenLambdaConfig":
+        return replace(self, scheduler=scheduler)
+
+
+class OpenLambdaPlatform:
+    """Simulated OpenLambda deployment on one big host."""
+
+    def __init__(self, sim: Simulator, config: OpenLambdaConfig):
+        self.sim = sim
+        self.config = config
+        engine_cls = FluidMachine if config.engine == "fluid" else DiscreteMachine
+        self.machine: MachineBase = engine_cls(sim, config.machine)
+        self.sfs: Optional[SFS] = (
+            SFS(self.machine, config.sfs) if config.scheduler == "sfs" else None
+        )
+        self.pool = ContainerPool(config.container_capacity)
+        self.rng = make_rng(config.seed)
+        self.coldstart: Optional[KeepAliveCache] = (
+            KeepAliveCache(sim, config.coldstart, self.rng)
+            if config.coldstart is not None
+            else None
+        )
+        self.pairs: List[Tuple[RequestSpec, Task]] = []
+        self.machine.on_finish(self._on_finish)
+        self._app_of: Dict[int, str] = {}
+        self._fn_of: Dict[int, str] = {}
+        #: requests accepted but not yet finished (global-scheduler load)
+        self.outstanding: int = 0
+
+    # ------------------------------------------------------------------
+    # invocation pipeline
+    # ------------------------------------------------------------------
+    def invoke(self, spec: RequestSpec) -> None:
+        """Client HTTP request arrives at the gateway (step 1)."""
+        self.outstanding += 1
+        ov = self.config.overheads
+        delay = ov.gateway.sample(self.rng) + ov.ol_worker.sample(self.rng)
+        self.sim.schedule(delay, self._at_sandbox_server, spec)
+
+    def _at_sandbox_server(self, spec: RequestSpec) -> None:
+        """OL worker forwarded the request; acquire a warm container."""
+        self.pool.acquire(spec.app or spec.name, lambda: self._dispatch(spec))
+
+    def _dispatch(self, spec: RequestSpec) -> None:
+        """Sandbox server starts the function process in the container."""
+        ov = self.config.overheads
+        delay = ov.sandbox_server.sample(self.rng)
+        if self.coldstart is not None:
+            # warm hit: 0; otherwise the container must be provisioned
+            delay += self.coldstart.acquire(spec.name or spec.app)
+        self.sim.schedule(delay, self._spawn, spec)
+
+    def _spawn(self, spec: RequestSpec) -> None:
+        task = spec.make_task(policy=SchedPolicy.CFS)
+        self.pairs.append((spec, task))
+        self._app_of[task.tid] = spec.app or spec.name
+        self._fn_of[task.tid] = spec.name or spec.app
+        self.machine.spawn(task)
+        if self.sfs is not None:
+            # UDP message (pid, invocation timestamp) to the SFS queue
+            notify = self.config.overheads.udp_notify.sample(self.rng)
+            self.sim.schedule(notify, self.sfs.submit, task, spec.arrival)
+
+    def _on_finish(self, task: Task) -> None:
+        self.outstanding -= 1
+        app = self._app_of.pop(task.tid, None)
+        if app is not None:
+            self.pool.release(app)
+        fn = self._fn_of.pop(task.tid, None)
+        if fn is not None and self.coldstart is not None:
+            self.coldstart.release(fn)
+
+
+def run_openlambda(workload: Workload, config: OpenLambdaConfig) -> RunResult:
+    """Replay a workload through the full OpenLambda pipeline."""
+    sim = Simulator()
+    platform = OpenLambdaPlatform(sim, config)
+    for spec in workload:
+        sim.schedule_at(spec.arrival, platform.invoke, spec)
+    sim.run()
+    unfinished = [s.req_id for s, t in platform.pairs if not t.finished]
+    if unfinished:
+        raise RuntimeError(
+            f"{len(unfinished)} OpenLambda requests never finished "
+            f"(first: {unfinished[:5]})"
+        )
+    sfs = platform.sfs
+    meta = dict(workload.meta)
+    if platform.coldstart is not None:
+        meta["coldstart_stats"] = platform.coldstart.stats
+    return RunResult(
+        scheduler=f"openlambda+{config.scheduler}",
+        engine=config.engine,
+        records=build_records(platform.pairs),
+        sim_time=sim.now,
+        busy_time=platform.machine.busy_time,
+        n_cores=platform.machine.n_cores,
+        sfs_stats=sfs.stats if sfs else None,
+        slice_timeline=list(sfs.monitor.timeline) if sfs else None,
+        queue_delay_samples=sfs.delay_samples() if sfs else None,
+        overhead=sfs.overhead if sfs else None,
+        meta=meta,
+    )

@@ -1,0 +1,53 @@
+"""Per-hop platform latencies.
+
+The paper notes the OpenLambda deployment "introduced extra overhead at
+various levels, including the OpenLambda worker servers and the HTTP
+sandbox servers" which "diminished the performance benefits of SFS to
+some extent" (§IX-A).  We model each hop as an independent log-normal
+delay — the canonical shape for RPC latencies — with medians in the
+hundreds-of-microseconds range typical of localhost HTTP/UDP hops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sim.rng import make_rng
+
+
+@dataclass(frozen=True)
+class HopLatency:
+    """Log-normal hop latency: median (us) and shape sigma."""
+
+    median_us: int
+    sigma: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.median_us < 0 or self.sigma < 0:
+            raise ValueError("invalid hop latency parameters")
+
+    def sample(self, rng: np.random.Generator) -> int:
+        if self.median_us == 0:
+            return 0
+        draw = rng.lognormal(np.log(self.median_us), self.sigma)
+        return max(1, int(round(draw)))
+
+
+@dataclass(frozen=True)
+class OverheadModel:
+    """All hops on the invocation path (Fig 5)."""
+
+    gateway: HopLatency = field(default_factory=lambda: HopLatency(300))
+    ol_worker: HopLatency = field(default_factory=lambda: HopLatency(500))
+    sandbox_server: HopLatency = field(default_factory=lambda: HopLatency(400))
+    #: sandbox server -> SFS UDP notify ("hundreds of microseconds", §VI)
+    udp_notify: HopLatency = field(default_factory=lambda: HopLatency(200))
+
+    def total_median(self) -> int:
+        return (
+            self.gateway.median_us
+            + self.ol_worker.median_us
+            + self.sandbox_server.median_us
+        )

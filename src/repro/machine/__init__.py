@@ -1,0 +1,20 @@
+"""Multi-core host models.
+
+Two engines implement the same :class:`repro.machine.base.MachineBase`
+API so that every policy layer (plain kernel runs, SFS, OpenLambda) is
+engine-agnostic:
+
+* :class:`repro.machine.discrete.DiscreteMachine` — faithful per-slice
+  simulation of CFS + RT classes with per-core runqueues; the reference
+  engine.
+* :class:`repro.machine.fluid.FluidMachine` — a processor-sharing
+  closed-form of the same machine, O(log n) per event, used for the
+  full-size experiments and validated against the discrete engine by
+  the test suite.
+"""
+
+from repro.machine.base import MachineBase, MachineParams
+from repro.machine.discrete import DiscreteMachine
+from repro.machine.fluid import FluidMachine
+
+__all__ = ["MachineBase", "MachineParams", "DiscreteMachine", "FluidMachine"]

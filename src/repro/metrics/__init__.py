@@ -1,0 +1,24 @@
+"""Measurement: per-request records, RTE, CDFs, percentiles, timelines."""
+
+from repro.metrics.billing import BillingModel, overcharge_report
+from repro.metrics.collector import RequestRecord, RunResult, build_records
+from repro.metrics.rte import rte, rte_normalized
+from repro.metrics.slo import SLO, slo_report, stretch
+from repro.metrics.stats import ecdf, fraction_below, percentile, percentiles
+
+__all__ = [
+    "RequestRecord",
+    "RunResult",
+    "build_records",
+    "rte",
+    "rte_normalized",
+    "SLO",
+    "slo_report",
+    "stretch",
+    "BillingModel",
+    "overcharge_report",
+    "ecdf",
+    "percentile",
+    "percentiles",
+    "fraction_below",
+]

@@ -1,0 +1,104 @@
+"""FaaS billing and the overcharge metric (§I, §III).
+
+The paper's economic motivation: providers bill execution *duration*
+(AWS Lambda: per-invocation fee plus a GB-second rate with duration
+rounded up to 1 ms), so every microsecond a function spends waiting in
+a runqueue is money the user pays for CPU time they never received.
+RTE measures this as a ratio; this module prices it.
+
+Default constants are the paper's own quote (§I): "$0.02 per 1 million
+invocations" and "$0.0000166667 per second for each GB of memory",
+rounding duration up to the nearest millisecond.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+
+from repro.metrics.collector import RequestRecord, RunResult
+from repro.sim.units import MS
+
+
+@dataclass(frozen=True)
+class BillingModel:
+    """AWS-Lambda-style pricing."""
+
+    #: $ per GB-second of billed duration.
+    gb_second_rate: float = 0.0000166667
+    #: $ per invocation (the paper: $0.02 per million).
+    per_invocation: float = 0.02 / 1e6
+    #: billing granularity (AWS rounds up to 1 ms).
+    granularity_us: int = 1 * MS
+    #: configured memory per function instance, GB.
+    memory_gb: float = 0.125
+
+    def __post_init__(self) -> None:
+        if self.gb_second_rate < 0 or self.per_invocation < 0:
+            raise ValueError("rates must be non-negative")
+        if self.granularity_us <= 0:
+            raise ValueError("granularity must be positive")
+        if self.memory_gb <= 0:
+            raise ValueError("memory must be positive")
+
+    # ------------------------------------------------------------------
+    def billed_duration_us(self, duration_us: int) -> int:
+        """Round the duration up to the billing granularity."""
+        if duration_us < 0:
+            raise ValueError("duration must be non-negative")
+        g = self.granularity_us
+        return int(math.ceil(duration_us / g) * g)
+
+    def charge(self, duration_us: int) -> float:
+        """Dollar cost of one invocation of the given duration."""
+        seconds = self.billed_duration_us(duration_us) / 1e6
+        return self.per_invocation + seconds * self.memory_gb * self.gb_second_rate
+
+    # ------------------------------------------------------------------
+    def invoice(self, records: Iterable[RequestRecord]) -> float:
+        """Total bill for a run, charging the observed turnaround."""
+        return float(sum(self.charge(r.turnaround) for r in records))
+
+    def ideal_invoice(self, records: Iterable[RequestRecord]) -> float:
+        """What the same work would cost with zero interference."""
+        return float(sum(self.charge(r.ideal_duration) for r in records))
+
+    def overcharge(self, records: Iterable[RequestRecord]) -> float:
+        """Dollars billed beyond the zero-interference cost."""
+        recs = list(records)
+        return self.invoice(recs) - self.ideal_invoice(recs)
+
+    def overcharge_ratio(self, records: Iterable[RequestRecord]) -> float:
+        """Overcharge as a fraction of the ideal bill (0 = fair)."""
+        recs = list(records)
+        ideal = self.ideal_invoice(recs)
+        if ideal <= 0:
+            return 0.0
+        return self.overcharge(recs) / ideal
+
+    def per_request_overcharge(self, records: Sequence[RequestRecord]) -> np.ndarray:
+        """Dollar overcharge per request (for distribution plots)."""
+        return np.asarray(
+            [self.charge(r.turnaround) - self.charge(r.ideal_duration)
+             for r in records],
+            dtype=float,
+        )
+
+
+def overcharge_report(
+    runs: Dict[str, RunResult], model: BillingModel = BillingModel()
+) -> Dict[str, Dict[str, float]]:
+    """Per-scheduler billing summary for a paired run set."""
+    out = {}
+    for name, run in runs.items():
+        recs = run.records
+        out[name] = {
+            "invoice": model.invoice(recs),
+            "ideal": model.ideal_invoice(recs),
+            "overcharge": model.overcharge(recs),
+            "overcharge_ratio": model.overcharge_ratio(recs),
+        }
+    return out

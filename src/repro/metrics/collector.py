@@ -1,0 +1,137 @@
+"""Per-request records and whole-run results.
+
+Every engine produces identical :class:`repro.sim.task.Task` accounting,
+so a single collector turns (spec, task) pairs into flat records that
+the experiment modules slice with NumPy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.metrics.rte import rte, rte_normalized
+from repro.sim.task import Task
+from repro.workload.spec import RequestSpec
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Everything the evaluation needs to know about one request."""
+
+    req_id: int
+    name: str
+    app: str
+    arrival: int            # invocation time (client side)
+    dispatch: int           # spawned into the OS
+    finish: int
+    cpu_demand: int
+    io_demand: int
+    cpu_time: int
+    wait_time: int
+    ctx_involuntary: int
+    ctx_voluntary: int
+    migrations: int
+    bypassed: bool          # overload detector left it in CFS
+    demoted: bool           # FILTER slice expired
+    slice_granted: Optional[int]  # S at first FILTER promotion
+
+    @property
+    def turnaround(self) -> int:
+        """Paper's *execution duration*: OS dispatch to completion."""
+        return self.finish - self.dispatch
+
+    @property
+    def end_to_end(self) -> int:
+        """Client-visible latency including platform overheads."""
+        return self.finish - self.arrival
+
+    @property
+    def ideal_duration(self) -> int:
+        return self.cpu_demand + self.io_demand
+
+    @property
+    def rte(self) -> float:
+        return rte(self.cpu_demand, max(1, self.turnaround))
+
+    @property
+    def rte_normalized(self) -> float:
+        return rte_normalized(self.ideal_duration, max(1, self.turnaround))
+
+    @property
+    def context_switches(self) -> int:
+        return self.ctx_involuntary + self.ctx_voluntary
+
+
+def build_records(pairs: Sequence[Tuple[RequestSpec, Task]]) -> List[RequestRecord]:
+    """Turn (spec, finished task) pairs into records."""
+    records = []
+    for spec, task in pairs:
+        if not task.finished:
+            raise RuntimeError(f"request {spec.req_id} never finished")
+        records.append(
+            RequestRecord(
+                req_id=spec.req_id,
+                name=spec.name,
+                app=spec.app,
+                arrival=spec.arrival,
+                dispatch=task.dispatch_time,
+                finish=task.finish_time,
+                cpu_demand=task.cpu_demand,
+                io_demand=task.io_demand,
+                cpu_time=task.cpu_time,
+                wait_time=task.wait_time,
+                ctx_involuntary=task.ctx_involuntary,
+                ctx_voluntary=task.ctx_voluntary,
+                migrations=task.migrations,
+                bypassed=bool(getattr(task, "_sfs_bypassed", False)),
+                demoted=bool(getattr(task, "_sfs_demoted", False)),
+                slice_granted=getattr(task, "_sfs_slice_granted", None),
+            )
+        )
+    return records
+
+
+@dataclass
+class RunResult:
+    """One scheduler x workload execution."""
+
+    scheduler: str
+    engine: str
+    records: List[RequestRecord]
+    sim_time: int
+    busy_time: int
+    n_cores: int
+    #: SFS extras (None for plain kernel runs)
+    sfs_stats: Optional[object] = None
+    slice_timeline: Optional[List[Tuple[int, int]]] = None
+    queue_delay_samples: Optional[List[Tuple[int, int]]] = None
+    overhead: Optional[object] = None
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.records = sorted(self.records, key=lambda r: r.req_id)
+
+    # ------------------------------------------------------------------
+    def array(self, attr: str) -> np.ndarray:
+        """Column extraction in req_id order (stable across runs)."""
+        return np.asarray([getattr(r, attr) for r in self.records], dtype=float)
+
+    @property
+    def turnarounds(self) -> np.ndarray:
+        return self.array("turnaround")
+
+    @property
+    def rtes(self) -> np.ndarray:
+        return self.array("rte")
+
+    @property
+    def utilization(self) -> float:
+        if self.sim_time <= 0:
+            return 0.0
+        return self.busy_time / (self.sim_time * self.n_cores)
+
+    def subset(self, predicate) -> List[RequestRecord]:
+        return [r for r in self.records if predicate(r)]

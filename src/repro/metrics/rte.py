@@ -1,0 +1,37 @@
+"""Run-Time Effectiveness (RTE), the paper's efficiency metric (Eq. 1).
+
+``RTE = sum(CPU^i) / turnaround``: the aggregate CPU time the function
+needs (measured under the IDEAL zero-interference scenario, which for
+our task model is exactly its CPU demand) divided by the observed
+turnaround.  RTE = 1 means the function ran to completion the moment it
+was dispatched, with no preemption; lower values mean waiting — and,
+per the paper, overcharging.
+
+For functions with I/O the theoretical maximum is below 1 even in
+isolation (the paper notes this); ``rte_normalized`` divides by the
+*ideal duration* (CPU + I/O) instead so that 1.0 is always attainable.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+Number = Union[int, float]
+
+
+def rte(cpu_demand_us: Number, turnaround_us: Number) -> float:
+    """Eq. 1 of the paper."""
+    if cpu_demand_us < 0:
+        raise ValueError("cpu demand must be non-negative")
+    if turnaround_us <= 0:
+        raise ValueError("turnaround must be positive")
+    return cpu_demand_us / turnaround_us
+
+
+def rte_normalized(ideal_duration_us: Number, turnaround_us: Number) -> float:
+    """RTE against the function's full ideal duration (CPU + I/O)."""
+    if ideal_duration_us < 0:
+        raise ValueError("ideal duration must be non-negative")
+    if turnaround_us <= 0:
+        raise ValueError("turnaround must be positive")
+    return ideal_duration_us / turnaround_us

@@ -1,0 +1,95 @@
+"""FaaS performance SLOs (the paper's §I proposal).
+
+The paper observes that short-job-dominant FaaS workloads have no
+established SLO and sketches one:
+
+    "X% of function invocations must be finished within a soft/hard-
+     bounded ratio with respect to the duration that this function
+     would observe if running in an ideally isolated environment."
+
+This module makes that definition concrete.  The *stretch* of a request
+is ``turnaround / ideal_duration`` (>= 1); an :class:`SLO` asks that at
+least ``quantile`` of requests have stretch <= ``bound``.  Because the
+simulator knows every request's ideal duration exactly, attainment is
+measured without estimation error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.metrics.collector import RequestRecord, RunResult
+
+
+def stretch(records: Iterable[RequestRecord]) -> np.ndarray:
+    """Per-request stretch: turnaround over zero-interference duration."""
+    out = []
+    for r in records:
+        ideal = max(1, r.ideal_duration)
+        out.append(r.turnaround / ideal)
+    a = np.asarray(out, dtype=float)
+    if a.size == 0:
+        raise ValueError("no records")
+    return a
+
+
+@dataclass(frozen=True)
+class SLO:
+    """'``quantile`` of invocations finish within ``bound`` x isolated'."""
+
+    quantile: float  # e.g. 0.95
+    bound: float     # e.g. 2.0 (at most twice the isolated duration)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not (0 < self.quantile <= 1):
+            raise ValueError("quantile must be in (0, 1]")
+        if self.bound < 1:
+            raise ValueError("bound must be >= 1 (stretch cannot beat isolation)")
+
+    def attainment(self, records: Iterable[RequestRecord]) -> float:
+        """Fraction of requests meeting the bound (target: >= quantile)."""
+        s = stretch(records)
+        return float((s <= self.bound).mean())
+
+    def satisfied(self, records: Iterable[RequestRecord]) -> bool:
+        return self.attainment(records) >= self.quantile
+
+    def headroom(self, records: Iterable[RequestRecord]) -> float:
+        """attainment - quantile: positive means the SLO holds with slack."""
+        return self.attainment(records) - self.quantile
+
+
+#: a reasonable default ladder, from lenient to strict
+DEFAULT_SLOS: tuple = (
+    SLO(0.50, 1.5, "p50 within 1.5x"),
+    SLO(0.90, 2.0, "p90 within 2x"),
+    SLO(0.95, 5.0, "p95 within 5x"),
+    SLO(0.99, 20.0, "p99 within 20x"),
+)
+
+
+def slo_report(
+    runs: Dict[str, RunResult], slos: Sequence[SLO] = DEFAULT_SLOS
+) -> List[tuple]:
+    """Rows of (slo name, scheduler, attainment, met?) for a run set."""
+    rows = []
+    for slo in slos:
+        for name, run in runs.items():
+            att = slo.attainment(run.records)
+            rows.append((slo.name, name, att, att >= slo.quantile))
+    return rows
+
+
+def max_stretch_bound(
+    records: Iterable[RequestRecord], quantile: float
+) -> float:
+    """The tightest bound this run could promise at ``quantile``
+    (i.e. the stretch at that quantile) — useful for SLO calibration."""
+    if not (0 < quantile <= 1):
+        raise ValueError("quantile must be in (0, 1]")
+    s = stretch(records)
+    return float(np.quantile(s, quantile))

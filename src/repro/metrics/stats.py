@@ -1,0 +1,93 @@
+"""Distribution statistics: ECDFs, percentiles, paired comparisons.
+
+Everything here is vectorised NumPy working on plain arrays, so the
+experiment modules stay free of loops (per the HPC guides: vectorise,
+avoid copies, operate on contiguous arrays).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence, Tuple
+
+import numpy as np
+
+ArrayLike = Iterable[float]
+
+
+def _arr(values: ArrayLike) -> np.ndarray:
+    a = np.asarray(list(values) if not isinstance(values, np.ndarray) else values,
+                   dtype=float)
+    if a.size == 0:
+        raise ValueError("empty sample")
+    return a
+
+
+def ecdf(values: ArrayLike) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF: returns (sorted values, cumulative fractions]."""
+    a = np.sort(_arr(values))
+    y = np.arange(1, a.size + 1) / a.size
+    return a, y
+
+
+def percentile(values: ArrayLike, q: float) -> float:
+    """Single percentile (q in [0, 100])."""
+    return float(np.percentile(_arr(values), q))
+
+
+def percentiles(values: ArrayLike, qs: Sequence[float] = (50, 90, 95, 99, 99.9)) -> Dict[float, float]:
+    """Percentile breakdown used by Figs 8 and 15."""
+    a = _arr(values)
+    return {q: float(np.percentile(a, q)) for q in qs}
+
+
+def fraction_below(values: ArrayLike, bound: float) -> float:
+    """P(X < bound) — e.g. 'fraction of requests with RTE < 0.2'."""
+    a = _arr(values)
+    return float((a < bound).mean())
+
+
+def fraction_at_least(values: ArrayLike, bound: float) -> float:
+    """P(X >= bound) — e.g. 'fraction of requests with RTE >= 0.95'."""
+    a = _arr(values)
+    return float((a >= bound).mean())
+
+
+def paired_speedup(baseline: ArrayLike, treatment: ArrayLike) -> np.ndarray:
+    """Per-request speedup of treatment over baseline (same workload).
+
+    >1 means the treatment (e.g. SFS) finished the request faster.
+    """
+    b = _arr(baseline)
+    t = _arr(treatment)
+    if b.shape != t.shape:
+        raise ValueError("paired comparison requires equal-length runs")
+    return b / np.maximum(t, 1e-12)
+
+
+def improvement_summary(baseline: ArrayLike, treatment: ArrayLike) -> Dict[str, float]:
+    """The paper's headline decomposition (83 % improved by 49.6x;
+    the remaining 17 % run 1.29x longer).
+
+    Returns fraction improved, mean speedup among the improved, and the
+    mean slowdown among the rest.
+    """
+    s = paired_speedup(baseline, treatment)
+    improved = s > 1.0
+    frac = float(improved.mean())
+    mean_speedup = float(s[improved].mean()) if improved.any() else 1.0
+    rest = ~improved
+    mean_slowdown = float((1.0 / s[rest]).mean()) if rest.any() else 1.0
+    return {
+        "fraction_improved": frac,
+        "mean_speedup_improved": mean_speedup,
+        "mean_slowdown_rest": mean_slowdown,
+    }
+
+
+def slowdown_percentiles(
+    baseline: ArrayLike, treatment: ArrayLike, qs: Sequence[float] = (40, 70)
+) -> Dict[float, float]:
+    """Percentiles of baseline/treatment slowdown — Fig 2's '16x at p40,
+    24x at p70' comparison of CFS against SRTF."""
+    s = paired_speedup(baseline, treatment)  # baseline / treatment: > 1
+    return {q: float(np.percentile(s, q)) for q in qs}

@@ -1,0 +1,73 @@
+"""Time-series helpers for the timeline figures (Figs 10, 12a).
+
+Raw samples are ``(time_us, value)`` pairs recorded at irregular
+instants (every queue pop, every slice recomputation).  The figures
+need them binned onto a regular grid.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def bin_series(
+    samples: Sequence[Tuple[int, float]],
+    bin_us: int,
+    agg: str = "max",
+    end_time: int | None = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Aggregate irregular samples into fixed bins.
+
+    ``agg``: "max" (queuing-delay spikes must not be averaged away),
+    "mean", or "last" (step series like the time slice S).
+    Empty bins hold NaN ("last" carries the previous value forward).
+    Returns (bin start times, aggregated values).
+    """
+    if bin_us <= 0:
+        raise ValueError("bin_us must be positive")
+    if agg not in ("max", "mean", "last"):
+        raise ValueError(f"unknown agg {agg!r}")
+    if not samples:
+        return np.array([], dtype=np.int64), np.array([])
+    ts = np.asarray([s[0] for s in samples], dtype=np.int64)
+    vs = np.asarray([s[1] for s in samples], dtype=float)
+    horizon = end_time if end_time is not None else int(ts.max()) + 1
+    n_bins = max(1, -(-horizon // bin_us))
+    out = np.full(n_bins, np.nan)
+    idx = np.minimum(ts // bin_us, n_bins - 1)
+    if agg == "max":
+        # NaN never wins a np.maximum, so seed with -inf and mask after
+        out = np.full(n_bins, -np.inf)
+        np.maximum.at(out, idx, vs)
+        out[np.isinf(out)] = np.nan
+    elif agg == "mean":
+        sums = np.zeros(n_bins)
+        counts = np.zeros(n_bins)
+        np.add.at(sums, idx, vs)
+        np.add.at(counts, idx, 1)
+        with np.errstate(invalid="ignore"):
+            out = np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+    else:  # last
+        for t, v in zip(idx, vs):  # samples are few for step series
+            out[t] = v
+        # forward-fill
+        last = np.nan
+        for i in range(n_bins):
+            if np.isnan(out[i]):
+                out[i] = last
+            else:
+                last = out[i]
+    starts = np.arange(n_bins, dtype=np.int64) * bin_us
+    return starts, out
+
+
+def step_value_at(samples: Sequence[Tuple[int, float]], t: int) -> float:
+    """Value of a step series (e.g. the slice S) at time ``t``."""
+    val = float("nan")
+    for ts, v in samples:
+        if ts > t:
+            break
+        val = v
+    return val

@@ -1,0 +1,63 @@
+"""IDEAL baseline: infinite resources, zero contention.
+
+Every task gets its own core the instant it is dispatched, so its
+turnaround equals its intrinsic burst sum.  The paper uses this both as
+the unreachable performance ceiling in Fig 2 and as the denominator-
+defining run for RTE (the "aggregate CPU time ... measured under the
+IDEAL scenario").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.machine.base import MachineBase, MachineParams
+from repro.sim.engine import Simulator
+from repro.sim.task import BurstKind, SchedPolicy, Task, TaskState
+
+
+class IdealMachine(MachineBase):
+    """Infinitely many cores; tasks never wait or context-switch."""
+
+    def __init__(self, sim: Simulator, params: Optional[MachineParams] = None):
+        super().__init__(sim, params)
+        self._active = 0
+        self.peak_parallelism = 0
+
+    def spawn(self, task: Task) -> None:
+        if task.state is not TaskState.CREATED:
+            raise RuntimeError(f"task {task.tid} already spawned")
+        task.dispatch_time = self.sim.now
+        self.tasks_spawned += 1
+        task.state = TaskState.RUNNING
+        task.first_run_time = self.sim.now
+        self._active += 1
+        self.peak_parallelism = max(self.peak_parallelism, self._active)
+        self.sim.schedule(task.ideal_duration, self._on_done, task)
+
+    def set_policy(self, task: Task, policy: SchedPolicy, rt_priority: int = 1) -> None:
+        """No contention, so policies are irrelevant."""
+
+    def idle_cores(self) -> int:  # pragma: no cover - infinite machine
+        return 0
+
+    def runnable_count(self) -> int:
+        return 0
+
+    def _on_done(self, task: Task) -> None:
+        # charge each burst in order so accounting matches other engines
+        while True:
+            burst = task.current_burst
+            if burst is None:
+                break
+            if burst.kind is BurstKind.CPU:
+                task.consume_cpu(task.burst_remaining)
+                self.busy_time += burst.duration
+            else:
+                task.io_time += burst.duration
+                task.burst_remaining = 0
+            task.advance_burst()
+        task.state = TaskState.FINISHED
+        task.finish_time = self.sim.now
+        self._active -= 1
+        self._notify_finish(task)

@@ -1,0 +1,346 @@
+"""Red-black tree (CLRS-style, sentinel NIL).
+
+Linux CFS keeps each core's runnable tasks in an rbtree ordered by
+``vruntime``; picking the next task is "leftmost node".  We reproduce
+the same structure rather than a sorted list so that the runqueue has
+the same asymptotics (O(log n) enqueue/dequeue, O(1) cached leftmost)
+and so the reproduction exercises a faithful substrate.
+
+Keys may be any totally ordered value (CFS uses ``(vruntime, seq)``
+tuples to break ties deterministically).  Deletion takes the *node*
+returned by :meth:`RBTree.insert`, mirroring how the kernel unlinks a
+specific ``sched_entity``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Tuple
+
+RED = True
+BLACK = False
+
+
+class _Node:
+    __slots__ = ("key", "value", "left", "right", "parent", "color")
+
+    def __init__(self, key: Any, value: Any):
+        self.key = key
+        self.value = value
+        self.left: "_Node" = NIL
+        self.right: "_Node" = NIL
+        self.parent: "_Node" = NIL
+        self.color: bool = RED
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        c = "R" if self.color is RED else "B"
+        return f"<Node {self.key} {c}>"
+
+
+class _Nil(_Node):
+    """Shared sentinel: black, self-referential."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:  # noqa: D401 - sentinel
+        self.key = None
+        self.value = None
+        self.color = BLACK
+        self.left = self
+        self.right = self
+        self.parent = self
+
+
+NIL: _Node = _Nil()
+
+
+class RBTree:
+    """A mutable red-black tree mapping ordered keys to values.
+
+    Duplicate keys are allowed (they land in the right subtree); CFS
+    avoids ambiguity by using a unique sequence number in the key.
+    """
+
+    def __init__(self) -> None:
+        self.root: _Node = NIL
+        self._size = 0
+        self._leftmost: Optional[_Node] = None  # cached like the kernel's rb_leftmost
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def min_node(self) -> Optional[_Node]:
+        """The leftmost (smallest-key) node, cached O(1)."""
+        return self._leftmost
+
+    def min_item(self) -> Optional[Tuple[Any, Any]]:
+        node = self._leftmost
+        return None if node is None else (node.key, node.value)
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """In-order iteration (ascending keys)."""
+        stack: list[_Node] = []
+        node = self.root
+        while stack or node is not NIL:
+            while node is not NIL:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node.key, node.value
+            node = node.right
+
+    def keys(self) -> Iterator[Any]:
+        for k, _v in self.items():
+            yield k
+
+    def values(self) -> Iterator[Any]:
+        for _k, v in self.items():
+            yield v
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+    def insert(self, key: Any, value: Any = None) -> _Node:
+        """Insert and rebalance; returns the node (keep it for delete)."""
+        node = _Node(key, value)
+        parent = NIL
+        cur = self.root
+        leftmost = True
+        while cur is not NIL:
+            parent = cur
+            if key < cur.key:
+                cur = cur.left
+            else:
+                cur = cur.right
+                leftmost = False
+        node.parent = parent
+        if parent is NIL:
+            self.root = node
+        elif key < parent.key:
+            parent.left = node
+        else:
+            parent.right = node
+        self._size += 1
+        if leftmost:
+            self._leftmost = node
+        self._insert_fixup(node)
+        return node
+
+    def _insert_fixup(self, z: _Node) -> None:
+        while z.parent.color is RED:
+            gp = z.parent.parent
+            if z.parent is gp.left:
+                uncle = gp.right
+                if uncle.color is RED:
+                    z.parent.color = BLACK
+                    uncle.color = BLACK
+                    gp.color = RED
+                    z = gp
+                else:
+                    if z is z.parent.right:
+                        z = z.parent
+                        self._rotate_left(z)
+                    z.parent.color = BLACK
+                    z.parent.parent.color = RED
+                    self._rotate_right(z.parent.parent)
+            else:
+                uncle = gp.left
+                if uncle.color is RED:
+                    z.parent.color = BLACK
+                    uncle.color = BLACK
+                    gp.color = RED
+                    z = gp
+                else:
+                    if z is z.parent.left:
+                        z = z.parent
+                        self._rotate_right(z)
+                    z.parent.color = BLACK
+                    z.parent.parent.color = RED
+                    self._rotate_left(z.parent.parent)
+        self.root.color = BLACK
+
+    # ------------------------------------------------------------------
+    # deletion
+    # ------------------------------------------------------------------
+    def delete(self, node: _Node) -> None:
+        """Unlink ``node`` (must belong to this tree) and rebalance."""
+        if node is NIL or node is None:
+            raise ValueError("cannot delete NIL")
+        if node is self._leftmost:
+            self._leftmost = self._successor(node)
+        y = node
+        y_color = y.color
+        if node.left is NIL:
+            x = node.right
+            self._transplant(node, node.right)
+        elif node.right is NIL:
+            x = node.left
+            self._transplant(node, node.left)
+        else:
+            y = self._subtree_min(node.right)
+            y_color = y.color
+            x = y.right
+            if y.parent is node:
+                x.parent = y
+            else:
+                self._transplant(y, y.right)
+                y.right = node.right
+                y.right.parent = y
+            self._transplant(node, y)
+            y.left = node.left
+            y.left.parent = y
+            y.color = node.color
+        self._size -= 1
+        if y_color is BLACK:
+            self._delete_fixup(x)
+        # detach for safety; reusing a deleted node is a bug
+        node.left = node.right = node.parent = NIL
+
+    def pop_min(self) -> Optional[Tuple[Any, Any]]:
+        """Remove and return the smallest ``(key, value)`` pair."""
+        node = self._leftmost
+        if node is None:
+            return None
+        item = (node.key, node.value)
+        self.delete(node)
+        return item
+
+    def _delete_fixup(self, x: _Node) -> None:
+        while x is not self.root and x.color is BLACK:
+            if x is x.parent.left:
+                w = x.parent.right
+                if w.color is RED:
+                    w.color = BLACK
+                    x.parent.color = RED
+                    self._rotate_left(x.parent)
+                    w = x.parent.right
+                if w.left.color is BLACK and w.right.color is BLACK:
+                    w.color = RED
+                    x = x.parent
+                else:
+                    if w.right.color is BLACK:
+                        w.left.color = BLACK
+                        w.color = RED
+                        self._rotate_right(w)
+                        w = x.parent.right
+                    w.color = x.parent.color
+                    x.parent.color = BLACK
+                    w.right.color = BLACK
+                    self._rotate_left(x.parent)
+                    x = self.root
+            else:
+                w = x.parent.left
+                if w.color is RED:
+                    w.color = BLACK
+                    x.parent.color = RED
+                    self._rotate_right(x.parent)
+                    w = x.parent.left
+                if w.right.color is BLACK and w.left.color is BLACK:
+                    w.color = RED
+                    x = x.parent
+                else:
+                    if w.left.color is BLACK:
+                        w.right.color = BLACK
+                        w.color = RED
+                        self._rotate_left(w)
+                        w = x.parent.left
+                    w.color = x.parent.color
+                    x.parent.color = BLACK
+                    w.left.color = BLACK
+                    self._rotate_right(x.parent)
+                    x = self.root
+        x.color = BLACK
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _rotate_left(self, x: _Node) -> None:
+        y = x.right
+        x.right = y.left
+        if y.left is not NIL:
+            y.left.parent = x
+        y.parent = x.parent
+        if x.parent is NIL:
+            self.root = y
+        elif x is x.parent.left:
+            x.parent.left = y
+        else:
+            x.parent.right = y
+        y.left = x
+        x.parent = y
+
+    def _rotate_right(self, x: _Node) -> None:
+        y = x.left
+        x.left = y.right
+        if y.right is not NIL:
+            y.right.parent = x
+        y.parent = x.parent
+        if x.parent is NIL:
+            self.root = y
+        elif x is x.parent.right:
+            x.parent.right = y
+        else:
+            x.parent.left = y
+        y.right = x
+        x.parent = y
+
+    def _transplant(self, u: _Node, v: _Node) -> None:
+        if u.parent is NIL:
+            self.root = v
+        elif u is u.parent.left:
+            u.parent.left = v
+        else:
+            u.parent.right = v
+        v.parent = u.parent
+
+    @staticmethod
+    def _subtree_min(node: _Node) -> _Node:
+        while node.left is not NIL:
+            node = node.left
+        return node
+
+    def _successor(self, node: _Node) -> Optional[_Node]:
+        if node.right is not NIL:
+            return self._subtree_min(node.right)
+        parent = node.parent
+        while parent is not NIL and node is parent.right:
+            node = parent
+            parent = parent.parent
+        return None if parent is NIL else parent
+
+    # ------------------------------------------------------------------
+    # invariant checking (used by property tests)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Raise AssertionError if any red-black invariant is violated."""
+        assert self.root.color is BLACK, "root must be black"
+        expected_leftmost = None
+        if self.root is not NIL:
+            expected_leftmost = self._subtree_min(self.root)
+        assert self._leftmost is expected_leftmost or (
+            self._leftmost is None and self.root is NIL
+        ), "cached leftmost is stale"
+
+        def walk(node: _Node) -> int:
+            if node is NIL:
+                return 1
+            if node.color is RED:
+                assert node.left.color is BLACK and node.right.color is BLACK, (
+                    "red node with red child"
+                )
+            if node.left is not NIL:
+                assert not (node.key < node.left.key), "BST order violated (left)"
+            if node.right is not NIL:
+                assert not (node.right.key < node.key), "BST order violated (right)"
+            lh = walk(node.left)
+            rh = walk(node.right)
+            assert lh == rh, "black-height mismatch"
+            return lh + (1 if node.color is BLACK else 0)
+
+        walk(self.root)
+        assert self._size == sum(1 for _ in self.items()), "size counter is wrong"

@@ -1,0 +1,36 @@
+"""Discrete-event simulation kernel.
+
+Everything in :mod:`repro` runs on virtual time measured in **integer
+microseconds** so that event ordering is exact (no floating-point ties)
+and runs are bit-reproducible.
+
+The kernel is deliberately small:
+
+* :class:`repro.sim.engine.Simulator` — a cancellable event heap with a
+  monotonic virtual clock.
+* :class:`repro.sim.task.Task` — the unit of scheduling: a process with
+  an alternating list of CPU and I/O bursts plus accounting state.
+* :mod:`repro.sim.rng` — seeded :class:`numpy.random.Generator` helpers.
+* :mod:`repro.sim.units` — millisecond/second/microsecond conversions.
+"""
+
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.task import Burst, BurstKind, SchedPolicy, Task, TaskState
+from repro.sim.units import MS, SEC, US, from_ms, from_sec, to_ms, to_sec
+
+__all__ = [
+    "Simulator",
+    "EventHandle",
+    "Task",
+    "TaskState",
+    "SchedPolicy",
+    "Burst",
+    "BurstKind",
+    "US",
+    "MS",
+    "SEC",
+    "from_ms",
+    "from_sec",
+    "to_ms",
+    "to_sec",
+]

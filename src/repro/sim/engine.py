@@ -1,0 +1,155 @@
+"""Cancellable event-heap simulator.
+
+The simulator is a classic discrete-event loop: a binary heap of
+``(time, seq, handle)`` entries.  ``seq`` is a monotonically increasing
+tie-breaker so that events scheduled earlier fire earlier at equal
+timestamps, which makes every run fully deterministic.
+
+Cancellation is *lazy*: :meth:`EventHandle.cancel` marks the handle and
+the main loop discards dead entries when they surface, which keeps both
+``schedule`` and ``cancel`` O(log n) / O(1).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised on misuse of the simulator (e.g. scheduling in the past)."""
+
+
+class EventHandle:
+    """A scheduled callback; hold on to it if you may need to cancel."""
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: int, seq: int, callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing.  Safe to call repeatedly."""
+        self.cancelled = True
+        # Drop references eagerly: a long-lived heap entry must not pin
+        # tasks/closures for the rest of the run.
+        self.callback = _noop
+        self.args = ()
+
+    @property
+    def active(self) -> bool:
+        """True while the event is still pending and not cancelled."""
+        return not self.cancelled
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<EventHandle t={self.time} seq={self.seq} {state}>"
+
+
+def _noop(*_args: Any) -> None:
+    return None
+
+
+class Simulator:
+    """Virtual-time discrete-event loop.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(1000, fn, arg1)      # fire fn(arg1) in 1 ms
+        sim.run()                          # run until the heap drains
+
+    Time never flows backwards; callbacks run at exactly their scheduled
+    virtual time and may schedule further events (including at ``now``).
+    """
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: list[tuple[int, int, EventHandle]] = []
+        self._seq: int = 0
+        self._running = False
+        self.events_executed: int = 0
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule_at(self, time: int, callback: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute virtual time ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} before now={self.now}"
+            )
+        self._seq += 1
+        handle = EventHandle(int(time), self._seq, callback, args)
+        heapq.heappush(self._heap, (handle.time, handle.seq, handle))
+        return handle
+
+    def schedule(self, delay: int, callback: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` after ``delay`` microseconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule_at(self.now + int(delay), callback, *args)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def peek_time(self) -> Optional[int]:
+        """Virtual time of the next live event, or None if drained."""
+        self._drop_dead()
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def step(self) -> bool:
+        """Execute the next live event.  Returns False when drained."""
+        self._drop_dead()
+        if not self._heap:
+            return False
+        time, _seq, handle = heapq.heappop(self._heap)
+        self.now = time
+        callback, args = handle.callback, handle.args
+        handle.cancel()  # consumed; release references
+        self.events_executed += 1
+        callback(*args)
+        return True
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> None:
+        """Run until the heap drains, ``until`` is reached, or the event
+        budget ``max_events`` is spent.
+
+        When ``until`` is given the clock is advanced to exactly
+        ``until`` even if the last event fired earlier.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while True:
+                nxt = self.peek_time()
+                if nxt is None:
+                    break
+                if until is not None and nxt > until:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+        if until is not None and self.now < until:
+            self.now = until
+
+    @property
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for _, _, h in self._heap if not h.cancelled)
+
+    def _drop_dead(self) -> None:
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)

@@ -1,0 +1,35 @@
+"""Time units.
+
+All simulator timestamps and durations are **integer microseconds**.
+These helpers convert to and from the units the paper reports in
+(milliseconds and seconds) and keep rounding policy in one place.
+"""
+
+from __future__ import annotations
+
+#: One microsecond (the base unit).
+US: int = 1
+#: Microseconds per millisecond.
+MS: int = 1_000
+#: Microseconds per second.
+SEC: int = 1_000_000
+
+
+def from_ms(ms: float) -> int:
+    """Convert milliseconds to integer microseconds (round to nearest)."""
+    return int(round(ms * MS))
+
+
+def from_sec(sec: float) -> int:
+    """Convert seconds to integer microseconds (round to nearest)."""
+    return int(round(sec * SEC))
+
+
+def to_ms(us: float) -> float:
+    """Convert microseconds to (float) milliseconds."""
+    return us / MS
+
+
+def to_sec(us: float) -> float:
+    """Convert microseconds to (float) seconds."""
+    return us / SEC

@@ -1,0 +1,17 @@
+"""Workload generation: FaaSBench and the Azure Functions trace model.
+
+* :mod:`repro.workload.functions` — the fib/md/sa function models and
+  the fib-N → duration calibration (Table I).
+* :mod:`repro.workload.distributions` — duration mixtures and
+  inter-arrival-time processes (Poisson, uniform, trace-like bursty).
+* :mod:`repro.workload.faasbench` — FaaSBench, the paper's workload
+  generator, rebuilt with the same knobs.
+* :mod:`repro.workload.azure` — a synthetic stand-in for the Azure
+  Functions 2019 dataset [48], calibrated to every statistic the paper
+  quotes from it.
+"""
+
+from repro.workload.faasbench import FaaSBench, FaaSBenchConfig
+from repro.workload.spec import RequestSpec, Workload
+
+__all__ = ["FaaSBench", "FaaSBenchConfig", "Workload", "RequestSpec"]

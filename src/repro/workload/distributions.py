@@ -1,0 +1,186 @@
+"""Duration and inter-arrival-time distributions (§VII, Table I).
+
+Two families live here:
+
+* :class:`TableIDurations` — the paper's multi-modal duration model:
+  five probability bins, each mapped to a fib-N range (Table I).
+* IAT processes — Poisson, uniform, and a bursty (Markov-modulated
+  Poisson) process that reproduces the Azure trace's transient
+  overload spikes used by Fig 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.units import MS
+from repro.workload.functions import fib_duration
+
+
+@dataclass(frozen=True)
+class DurationBin:
+    """One Table I row: probability, duration range (us), fib-N range."""
+
+    probability: float
+    low_us: int
+    high_us: Optional[int]  # None = open-ended (the >= 1550 ms bin)
+    n_low: int
+    n_high: int
+
+    def contains(self, duration_us: int) -> bool:
+        if duration_us < self.low_us:
+            return False
+        return self.high_us is None or duration_us < self.high_us
+
+
+#: Table I of the paper, verbatim.  Note the ranges are non-contiguous:
+#: each missing range carries < 1 % probability in the Azure Day-1 data.
+TABLE_I: Tuple[DurationBin, ...] = (
+    DurationBin(0.406, 0, 50 * MS, 20, 26),
+    DurationBin(0.098, 50 * MS, 100 * MS, 27, 28),
+    DurationBin(0.068, 100 * MS, 200 * MS, 29, 29),
+    DurationBin(0.227, 200 * MS, 400 * MS, 30, 31),
+    DurationBin(0.157, 1550 * MS, None, 34, 35),
+)
+
+
+class TableIDurations:
+    """Samples (fib_n, expected_duration) pairs following Table I."""
+
+    def __init__(self, bins: Sequence[DurationBin] = TABLE_I):
+        probs = np.array([b.probability for b in bins], dtype=float)
+        if (probs <= 0).any():
+            raise ValueError("bin probabilities must be positive")
+        self.bins = tuple(bins)
+        self._probs = probs / probs.sum()
+
+    def sample_n(self, rng: np.random.Generator) -> int:
+        """Draw a fib-N knob value."""
+        idx = rng.choice(len(self.bins), p=self._probs)
+        b = self.bins[idx]
+        return int(rng.integers(b.n_low, b.n_high + 1))
+
+    def sample_many(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        idxs = rng.choice(len(self.bins), size=count, p=self._probs)
+        out = np.empty(count, dtype=np.int64)
+        for i, idx in enumerate(idxs):
+            b = self.bins[idx]
+            out[i] = rng.integers(b.n_low, b.n_high + 1)
+        return out
+
+    def mean_duration(self) -> float:
+        """Expected CPU demand (us) under this table — used to scale load."""
+        total = 0.0
+        for p, b in zip(self._probs, self.bins):
+            ns = range(b.n_low, b.n_high + 1)
+            total += p * float(np.mean([fib_duration(n) for n in ns]))
+        return total
+
+
+# ---------------------------------------------------------------------------
+# IAT processes
+# ---------------------------------------------------------------------------
+class PoissonIAT:
+    """Exponential IATs with a fixed mean (us)."""
+
+    def __init__(self, mean_us: float):
+        if mean_us <= 0:
+            raise ValueError("mean IAT must be positive")
+        self.mean_us = mean_us
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        draw = rng.exponential(self.mean_us, size=count)
+        return np.maximum(np.rint(draw), 1).astype(np.int64)
+
+
+class UniformIAT:
+    """Uniform IATs on [low, high] us."""
+
+    def __init__(self, low_us: float, high_us: float):
+        if not (0 < low_us <= high_us):
+            raise ValueError("require 0 < low <= high")
+        self.low_us = low_us
+        self.high_us = high_us
+
+    @property
+    def mean_us(self) -> float:
+        return (self.low_us + self.high_us) / 2
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        draw = rng.uniform(self.low_us, self.high_us, size=count)
+        return np.maximum(np.rint(draw), 1).astype(np.int64)
+
+
+class BurstyIAT:
+    """Markov-modulated Poisson: normal rate with transient spikes.
+
+    Reproduces the Azure trace's "transient spikes of concurrent
+    invocations" (§V-E): with probability ``spike_every`` per request,
+    the process enters a spike of ``spike_len`` requests whose arrival
+    rate is ``spike_factor`` times the base rate.  Alternatively pass
+    ``n_spikes`` to place spikes evenly (Fig 12 shows exactly five).
+    """
+
+    def __init__(
+        self,
+        mean_us: float,
+        spike_factor: float = 20.0,
+        spike_len: int = 120,
+        n_spikes: Optional[int] = 5,
+        spike_every: Optional[float] = None,
+    ):
+        if mean_us <= 0 or spike_factor < 1 or spike_len <= 0:
+            raise ValueError("invalid bursty-IAT parameters")
+        self.mean_us = mean_us
+        self.spike_factor = spike_factor
+        self.spike_len = spike_len
+        self.n_spikes = n_spikes
+        self.spike_every = spike_every
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        iats = rng.exponential(self.mean_us, size=count)
+        spike_mask = np.zeros(count, dtype=bool)
+        if self.n_spikes:
+            # deterministic placement: n spikes spread over the run,
+            # jittered a little so they do not alias with window edges
+            for k in range(self.n_spikes):
+                centre = int((k + 0.5) * count / self.n_spikes)
+                centre += int(rng.integers(-self.spike_len, self.spike_len + 1))
+                lo = max(0, centre)
+                hi = min(count, lo + self.spike_len)
+                spike_mask[lo:hi] = True
+        elif self.spike_every:
+            starts = np.flatnonzero(rng.random(count) < self.spike_every)
+            for s in starts:
+                spike_mask[s : s + self.spike_len] = True
+        iats[spike_mask] /= self.spike_factor
+        return np.maximum(np.rint(iats), 1).astype(np.int64)
+
+
+class ReplayIAT:
+    """Replays an explicit IAT sequence (trace-driven mode, §VII)."""
+
+    def __init__(self, iats_us: Sequence[int]):
+        arr = np.asarray(iats_us, dtype=np.int64)
+        if len(arr) == 0 or (arr <= 0).any():
+            raise ValueError("replay IATs must be positive and non-empty")
+        self._iats = arr
+
+    @property
+    def mean_us(self) -> float:
+        return float(self._iats.mean())
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        # tile/truncate, preserving the trace's local pattern
+        reps = -(-count // len(self._iats))
+        return np.tile(self._iats, reps)[:count]
+
+
+def mean_iat_for_load(mean_cpu_demand_us: float, n_cores: int, load: float) -> float:
+    """Invert rho = E[D] / (IAT * c): the IAT that offers ``load``."""
+    if not (0 < load):
+        raise ValueError("load must be positive")
+    return mean_cpu_demand_us / (n_cores * load)

@@ -1,0 +1,187 @@
+"""FaaSBench: the paper's configurable FaaS workload generator (§VII).
+
+Knobs (matching the paper one-to-one):
+
+1. per-function behaviour: fib's integer knob ``N`` (compute time) and
+   the boolean ``IO`` knob (leading I/O operation, Fig 11);
+2. the function-duration distribution (Table I by default);
+3. the IAT distribution (Poisson / uniform / bursty / replay), scaled
+   to a target overall CPU load.
+
+For the OpenLambda end-to-end workload (§IX-A), FaaSBench mixes three
+applications — fib (CPU-heavy), md (I/O-heavy), sa (CPU+I/O) — reusing
+the same duration and IAT distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.rng import SeedLike, make_rng
+from repro.sim.units import MS
+from repro.workload.distributions import (
+    BurstyIAT,
+    PoissonIAT,
+    ReplayIAT,
+    TableIDurations,
+    UniformIAT,
+    mean_iat_for_load,
+)
+from repro.workload.functions import fib_duration, make_fib, make_md, make_sa
+from repro.workload.spec import RequestSpec, Workload
+
+
+@dataclass(frozen=True)
+class FaaSBenchConfig:
+    """Workload-generation parameters."""
+
+    n_requests: int = 10_000
+    #: cores of the target machine (for load scaling).
+    n_cores: int = 12
+    #: target average CPU utilisation across all cores (0.5 .. 1.0+).
+    target_load: float = 0.8
+    #: IAT process: "poisson" | "uniform" | "bursty" | "replay".
+    iat_kind: str = "poisson"
+    #: explicit IATs (us) for ``iat_kind="replay"``.
+    replay_iats: Optional[Tuple[int, ...]] = None
+    #: fraction of requests with the leading-I/O knob set (Fig 11).
+    io_fraction: float = 0.0
+    #: range of the injected I/O duration (us), X ~ U[10 ms, 100 ms].
+    io_range: Tuple[int, int] = (10 * MS, 100 * MS)
+    #: application mix: name -> probability.  fib-only by default;
+    #: the OpenLambda workload uses all three.
+    app_mix: Tuple[Tuple[str, float], ...] = (("fib", 1.0),)
+    #: per-invocation duration jitter (lognormal sigma).
+    jitter_sigma: float = 0.05
+    #: bursty-IAT spike shape (Fig 12).
+    spike_factor: float = 20.0
+    spike_len: int = 120
+    n_spikes: int = 5
+
+    def __post_init__(self) -> None:
+        if self.n_requests <= 0:
+            raise ValueError("n_requests must be positive")
+        if not (0 <= self.io_fraction <= 1):
+            raise ValueError("io_fraction must be in [0, 1]")
+        if self.iat_kind not in ("poisson", "uniform", "bursty", "replay"):
+            raise ValueError(f"unknown iat_kind {self.iat_kind!r}")
+        if self.iat_kind == "replay" and not self.replay_iats:
+            raise ValueError("replay mode needs replay_iats")
+        total = sum(p for _n, p in self.app_mix)
+        if total <= 0:
+            raise ValueError("app_mix probabilities must sum > 0")
+        for name, _p in self.app_mix:
+            if name not in ("fib", "md", "sa"):
+                raise ValueError(f"unknown app {name!r}")
+
+
+#: §IX-A's comprehensive OpenLambda mix (fib / md / sa, uniform-ish
+#: with fib dominating as the motivating workload).
+OPENLAMBDA_MIX: Tuple[Tuple[str, float], ...] = (
+    ("fib", 0.5),
+    ("md", 0.25),
+    ("sa", 0.25),
+)
+
+
+class FaaSBench:
+    """Generates :class:`repro.workload.spec.Workload` objects."""
+
+    def __init__(self, config: FaaSBenchConfig, seed: SeedLike = None):
+        self.config = config
+        self.rng = make_rng(seed)
+        self.durations = TableIDurations()
+
+    # ------------------------------------------------------------------
+    def generate(self) -> Workload:
+        cfg = self.config
+        rng = self.rng
+        n = cfg.n_requests
+
+        arrivals = self._arrivals(n)
+        app_names = [name for name, _p in cfg.app_mix]
+        app_probs = np.array([p for _n, p in cfg.app_mix], dtype=float)
+        app_probs /= app_probs.sum()
+        app_idx = rng.choice(len(app_names), size=n, p=app_probs)
+        ns = self.durations.sample_many(rng, n)
+        io_flags = rng.random(n) < cfg.io_fraction
+
+        requests = []
+        for i in range(n):
+            app = app_names[app_idx[i]]
+            fib_n = int(ns[i])
+            if app == "fib":
+                bursts = make_fib(
+                    fib_n,
+                    io=bool(io_flags[i]),
+                    io_range_us=cfg.io_range,
+                    rng=rng,
+                    jitter_sigma=cfg.jitter_sigma,
+                )
+                name = f"fib-{fib_n}"
+            elif app == "md":
+                bursts = make_md(fib_duration(fib_n), rng=rng,
+                                 jitter_sigma=cfg.jitter_sigma)
+                name = f"md-{fib_n}"
+            else:
+                bursts = make_sa(fib_duration(fib_n), rng=rng,
+                                 jitter_sigma=cfg.jitter_sigma)
+                name = f"sa-{fib_n}"
+            requests.append(
+                RequestSpec(
+                    req_id=i,
+                    arrival=int(arrivals[i]),
+                    bursts=bursts,
+                    name=name,
+                    app=app,
+                )
+            )
+        meta = {
+            "generator": "FaaSBench",
+            "target_load": cfg.target_load,
+            "iat_kind": cfg.iat_kind,
+            "n_cores": cfg.n_cores,
+            "io_fraction": cfg.io_fraction,
+        }
+        return Workload(requests, meta)
+
+    # ------------------------------------------------------------------
+    def _arrivals(self, n: int) -> np.ndarray:
+        cfg = self.config
+        # Load scaling targets *CPU* demand: I/O overlaps with other
+        # work and does not occupy cores.
+        mean_cpu = self.durations.mean_duration()
+        if cfg.app_mix != (("fib", 1.0),):
+            # md uses 25 % CPU, sa 70 %: adjust expected CPU per request
+            frac = {"fib": 1.0, "md": 0.25, "sa": 0.70}
+            mix_probs = dict(cfg.app_mix)
+            total_p = sum(mix_probs.values())
+            mean_cpu *= sum(
+                (p / total_p) * frac[name] for name, p in cfg.app_mix
+            )
+        mean_iat = mean_iat_for_load(mean_cpu, cfg.n_cores, cfg.target_load)
+
+        if cfg.iat_kind == "poisson":
+            proc = PoissonIAT(mean_iat)
+        elif cfg.iat_kind == "uniform":
+            proc = UniformIAT(mean_iat * 0.5, mean_iat * 1.5)
+        elif cfg.iat_kind == "bursty":
+            proc = BurstyIAT(
+                mean_iat,
+                spike_factor=cfg.spike_factor,
+                spike_len=cfg.spike_len,
+                n_spikes=cfg.n_spikes,
+            )
+        else:
+            proc = ReplayIAT(cfg.replay_iats)
+        iats = proc.sample(self.rng, n)
+        if cfg.iat_kind == "replay":
+            # §VIII-A: "We adjusted the IAT of the generated workload
+            # proportionally to simulate different loads" — replayed
+            # traces keep their *pattern* but are rescaled to the target.
+            scale = mean_iat / float(np.mean(iats))
+            iats = np.maximum(np.rint(iats * scale), 1).astype(np.int64)
+        return np.cumsum(iats)

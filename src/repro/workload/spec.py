@@ -1,0 +1,100 @@
+"""Workload containers.
+
+A :class:`Workload` is an immutable list of :class:`RequestSpec`:
+absolute arrival time plus a concrete burst profile.  Generators build
+specs once (all randomness up front); drivers then turn each spec into
+a live :class:`repro.sim.task.Task` at its arrival event, so the same
+workload can be replayed against every scheduler bit-for-bit — the
+paired-comparison discipline all the paper's figures rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.sim.task import Burst, BurstKind, SchedPolicy, Task
+
+
+@dataclass(frozen=True)
+class RequestSpec:
+    """One function invocation request."""
+
+    req_id: int
+    arrival: int                      # absolute virtual time, us
+    bursts: Tuple[Burst, ...]         # concrete demand of this invocation
+    name: str = ""                    # e.g. "fib-24"
+    app: str = ""                     # e.g. "fib" | "md" | "sa"
+
+    def __post_init__(self) -> None:
+        if self.arrival < 0:
+            raise ValueError("arrival must be non-negative")
+        if not self.bursts:
+            raise ValueError("request needs at least one burst")
+
+    @property
+    def cpu_demand(self) -> int:
+        return sum(b.duration for b in self.bursts if b.kind is BurstKind.CPU)
+
+    @property
+    def io_demand(self) -> int:
+        return sum(b.duration for b in self.bursts if b.kind is BurstKind.IO)
+
+    @property
+    def ideal_duration(self) -> int:
+        return self.cpu_demand + self.io_demand
+
+    def make_task(self, policy: SchedPolicy = SchedPolicy.CFS) -> Task:
+        """Instantiate a fresh task for this request."""
+        return Task(
+            bursts=list(self.bursts), name=self.name, app=self.app, policy=policy
+        )
+
+
+@dataclass
+class Workload:
+    """An arrival-ordered sequence of requests plus provenance metadata."""
+
+    requests: List[RequestSpec]
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.requests = sorted(self.requests, key=lambda r: (r.arrival, r.req_id))
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self) -> Iterator[RequestSpec]:
+        return iter(self.requests)
+
+    @property
+    def makespan_lower_bound(self) -> int:
+        """Last arrival (a run can never finish before this)."""
+        return self.requests[-1].arrival if self.requests else 0
+
+    @property
+    def total_cpu_demand(self) -> int:
+        return sum(r.cpu_demand for r in self.requests)
+
+    def offered_load(self, n_cores: int) -> float:
+        """Average CPU utilisation this workload offers to ``n_cores``.
+
+        rho = lambda * E[CPU demand] / c, computed over the arrival span.
+        """
+        if len(self.requests) < 2:
+            return 0.0
+        span = self.requests[-1].arrival - self.requests[0].arrival
+        if span <= 0:
+            return float("inf")
+        return self.total_cpu_demand / (span * n_cores)
+
+    def mean_iat(self) -> float:
+        """Mean inter-arrival time (us)."""
+        if len(self.requests) < 2:
+            return float("inf")
+        span = self.requests[-1].arrival - self.requests[0].arrival
+        return span / (len(self.requests) - 1)
+
+    def filter(self, predicate) -> "Workload":
+        """A new workload keeping requests where ``predicate(spec)``."""
+        return Workload([r for r in self.requests if predicate(r)], dict(self.meta))

@@ -1,0 +1,57 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import RunConfig, run_workload
+from repro.machine.base import MachineParams
+from repro.sim.engine import Simulator
+from repro.sim.task import Burst, BurstKind, Task
+from repro.sim.units import MS
+from repro.workload.faasbench import FaaSBench, FaaSBenchConfig
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def make_cpu_task(duration_us: int, **kw) -> Task:
+    return Task(bursts=[Burst(BurstKind.CPU, duration_us)], **kw)
+
+
+def make_io_task(io_us: int, cpu_us: int, **kw) -> Task:
+    return Task(
+        bursts=[Burst(BurstKind.IO, io_us), Burst(BurstKind.CPU, cpu_us)], **kw
+    )
+
+
+def small_workload(
+    n_requests: int = 400,
+    n_cores: int = 8,
+    load: float = 0.9,
+    seed: int = 7,
+    **kw,
+):
+    cfg = FaaSBenchConfig(
+        n_requests=n_requests, n_cores=n_cores, target_load=load, **kw
+    )
+    return FaaSBench(cfg, seed=seed).generate()
+
+
+def quick_run(workload, scheduler: str = "cfs", engine: str = "fluid",
+              n_cores: int = 8, **kw):
+    cfg = RunConfig(
+        scheduler=scheduler,
+        engine=engine,
+        machine=MachineParams(n_cores=n_cores),
+        **kw,
+    )
+    return run_workload(workload, cfg)

@@ -1,0 +1,99 @@
+"""Synthetic Azure trace calibration and I/O."""
+
+import numpy as np
+import pytest
+
+from repro.sim.units import MS, SEC
+from repro.workload.azure import (
+    FIG1_ANCHORS,
+    MAX_DURATION_US,
+    MIN_DURATION_US,
+    AzureTrace,
+    AzureTraceSynthesizer,
+)
+
+
+@pytest.fixture(scope="module")
+def synth():
+    return AzureTraceSynthesizer(n_apps=30_000, seed=42)
+
+
+@pytest.fixture(scope="module")
+def durations(synth):
+    return synth.sample_avg_durations(30_000)
+
+
+def test_fig1_anchors_reproduced(durations):
+    for bound, target in FIG1_ANCHORS:
+        measured = (durations < bound).mean()
+        assert measured == pytest.approx(target, abs=0.04), f"anchor {bound}"
+
+
+def test_duration_span_many_orders(durations):
+    span = np.log10(durations.max() / durations.min())
+    assert span >= 5.5  # paper: ~7 orders of magnitude
+
+
+def test_durations_within_physical_range(durations):
+    assert durations.min() >= MIN_DURATION_US
+    assert durations.max() <= MAX_DURATION_US
+
+
+def test_generate_trace_structure():
+    syn = AzureTraceSynthesizer(n_apps=500, seed=3, n_sampled_apps=20)
+    trace = syn.generate()
+    assert len(trace.apps) == 500
+    assert len(trace.minute_counts) == 20
+    for a in trace.apps[:20]:
+        assert a.min_duration_us <= a.avg_duration_us
+        assert a.max_duration_us >= a.avg_duration_us
+        assert a.total_invocations >= 1
+    for counts in trace.minute_counts.values():
+        assert len(counts) == 1440
+
+
+def test_popularity_heavy_tailed():
+    syn = AzureTraceSynthesizer(n_apps=5000, seed=7)
+    trace = syn.generate()
+    counts = np.array([a.total_invocations for a in trace.apps])
+    top_share = np.sort(counts)[-50:].sum() / counts.sum()
+    assert top_share > 0.5  # a few apps dominate traffic
+
+
+def test_duration_cdf_helper():
+    syn = AzureTraceSynthesizer(n_apps=2000, seed=5)
+    trace = syn.generate()
+    cdf = trace.duration_cdf([1 * MS, 1 * SEC, 1000 * SEC])
+    assert cdf == sorted(cdf)
+    assert cdf[-1] == 1.0
+
+
+def test_csv_round_trip(tmp_path):
+    syn = AzureTraceSynthesizer(n_apps=50, seed=1)
+    trace = syn.generate()
+    path = str(tmp_path / "azure.csv")
+    trace.write_csv(path)
+    back = AzureTrace.read_csv(path)
+    assert len(back.apps) == 50
+    for a, b in zip(trace.apps, back.apps):
+        assert (a.app_id, a.avg_duration_us, a.total_invocations) == (
+            b.app_id, b.avg_duration_us, b.total_invocations
+        )
+
+
+def test_day1_iats_positive():
+    syn = AzureTraceSynthesizer(n_apps=500, seed=11, n_sampled_apps=20)
+    iats = syn.day1_iats(n_requests=2000)
+    assert len(iats) >= 1000
+    assert (iats >= 1).all()
+
+
+def test_deterministic_with_seed():
+    a = AzureTraceSynthesizer(n_apps=200, seed=9).sample_avg_durations(200)
+    b = AzureTraceSynthesizer(n_apps=200, seed=9).sample_avg_durations(200)
+    assert np.array_equal(a, b)
+
+
+def test_invalid_n_apps():
+    with pytest.raises(ValueError):
+        AzureTraceSynthesizer(n_apps=0)

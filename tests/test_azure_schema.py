@@ -1,0 +1,125 @@
+"""Official Azure dataset schema: synthesis, CSV round trip, loader."""
+
+import numpy as np
+import pytest
+
+from conftest import quick_run
+from repro.sim.units import MS
+from repro.workload.azure_schema import (
+    DURATION_PCT_COLUMNS,
+    MINUTES_PER_DAY,
+    AzureDataset,
+    FunctionDurations,
+    FunctionInvocations,
+    synthesize_dataset,
+    workload_from_dataset,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return synthesize_dataset(n_functions=120, seed=13)
+
+
+def test_synthesized_structure(dataset):
+    assert len(dataset.invocations) == 120
+    assert len(dataset.durations) == 120
+    assert dataset.memory  # one row per distinct app
+    for inv in dataset.invocations[:10]:
+        assert len(inv.per_minute) == MINUTES_PER_DAY
+        assert inv.total == sum(inv.per_minute)
+    for d in dataset.durations[:10]:
+        ps = d.percentiles_ms
+        assert list(ps) == sorted(ps)  # percentiles are monotone
+        assert d.minimum_ms <= d.median_ms <= d.maximum_ms
+
+
+def test_row_validation():
+    with pytest.raises(ValueError):
+        FunctionInvocations("o", "a", "f", "http", (1, 2, 3))
+    with pytest.raises(ValueError):
+        FunctionDurations("o", "a", "f", 1.0, 1, 0.5, 2.0, (1.0, 2.0))
+
+
+def test_lognormal_sigma_fit():
+    # p75/p25 = e^(2 * 0.6745 * sigma): invert exactly
+    sigma = 0.5
+    import math
+
+    median = 100.0
+    pcts = (
+        10.0,
+        20.0,
+        median * math.exp(-0.6745 * sigma),
+        median,
+        median * math.exp(0.6745 * sigma),
+        500.0,
+        900.0,
+    )
+    d = FunctionDurations("o", "a", "f", 100.0, 10, 1.0, 1000.0, pcts)
+    assert d.lognormal_sigma() == pytest.approx(sigma, rel=1e-6)
+    # degenerate spread -> 0
+    flat = FunctionDurations("o", "a", "f", 1.0, 1, 1.0, 1.0, (1.0,) * 7)
+    assert flat.lognormal_sigma() == 0.0
+
+
+def test_csv_round_trip(tmp_path, dataset):
+    inv_p = str(tmp_path / "inv.csv")
+    dur_p = str(tmp_path / "dur.csv")
+    mem_p = str(tmp_path / "mem.csv")
+    dataset.write_csv(inv_p, dur_p, mem_p)
+    back = AzureDataset.read_csv(inv_p, dur_p, mem_p)
+    assert len(back.invocations) == len(dataset.invocations)
+    assert len(back.memory) == len(dataset.memory)
+    a, b = dataset.invocations[0], back.invocations[0]
+    assert (a.owner, a.app, a.function, a.per_minute) == (
+        b.owner, b.app, b.function, b.per_minute
+    )
+    da, db = dataset.durations[0], back.durations[0]
+    assert da.percentiles_ms == pytest.approx(db.percentiles_ms)
+
+
+def test_workload_from_dataset_shape(dataset):
+    wl = workload_from_dataset(dataset, n_requests=2000, n_cores=8,
+                               target_load=0.9, seed=3)
+    assert len(wl) == 2000
+    assert wl.offered_load(8) == pytest.approx(0.9, rel=0.05)
+    arrivals = [r.arrival for r in wl]
+    assert arrivals == sorted(arrivals)
+    # demands stay within each function's recorded min/max
+    by_fn = dataset.durations_by_function()
+    for r in wl.requests[:200]:
+        d = next(v for (app, fn), v in by_fn.items() if fn == r.name)
+        assert d.minimum_ms * MS - 1 <= r.cpu_demand <= d.maximum_ms * MS + 1
+
+
+def test_popular_functions_dominate(dataset):
+    wl = workload_from_dataset(dataset, n_requests=3000, n_cores=8,
+                               target_load=0.8, seed=5)
+    totals = {inv.function: inv.total for inv in dataset.invocations}
+    from collections import Counter
+
+    sampled = Counter(r.name for r in wl)
+    top_fn = max(totals, key=totals.get)
+    assert sampled[top_fn] >= max(sampled.values()) * 0.5
+
+
+def test_workload_runs_through_scheduler(dataset):
+    wl = workload_from_dataset(dataset, n_requests=400, n_cores=8,
+                               target_load=1.0, seed=7)
+    res = quick_run(wl, "sfs")
+    assert len(res.records) == 400
+
+
+def test_loader_validation(dataset):
+    with pytest.raises(ValueError):
+        workload_from_dataset(dataset, n_requests=0, n_cores=8, target_load=1.0)
+    with pytest.raises(ValueError):
+        workload_from_dataset(dataset, n_requests=10, n_cores=8, target_load=0)
+    empty = AzureDataset(invocations=[], durations=[])
+    with pytest.raises(ValueError):
+        workload_from_dataset(empty, n_requests=10, n_cores=8, target_load=1.0)
+
+
+def test_schema_column_count():
+    assert len(DURATION_PCT_COLUMNS) == 7

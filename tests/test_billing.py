@@ -1,0 +1,95 @@
+"""Billing/overcharge model (§I pricing, §III fairness)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from conftest import quick_run, small_workload
+from repro.experiments import ext_billing
+from repro.metrics.billing import BillingModel, overcharge_report
+from repro.sim.units import MS
+
+
+@pytest.fixture
+def model():
+    return BillingModel()
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        BillingModel(gb_second_rate=-1)
+    with pytest.raises(ValueError):
+        BillingModel(granularity_us=0)
+    with pytest.raises(ValueError):
+        BillingModel(memory_gb=0)
+
+
+def test_billed_duration_rounds_up_to_1ms(model):
+    assert model.billed_duration_us(1) == 1 * MS
+    assert model.billed_duration_us(1 * MS) == 1 * MS
+    assert model.billed_duration_us(1 * MS + 1) == 2 * MS
+    assert model.billed_duration_us(0) == 0
+    with pytest.raises(ValueError):
+        model.billed_duration_us(-1)
+
+
+def test_charge_matches_paper_quote(model):
+    # the paper: $0.02 per million invocations
+    assert model.per_invocation == pytest.approx(2e-8)
+    # a 1-second, 1-GB function costs the quoted GB-second rate + fee
+    one_gb = BillingModel(memory_gb=1.0)
+    assert one_gb.charge(1_000_000) == pytest.approx(
+        0.0000166667 + 2e-8, rel=1e-6
+    )
+
+
+def test_charge_monotone_in_duration(model):
+    charges = [model.charge(d) for d in (1, 1 * MS, 10 * MS, 1000 * MS)]
+    assert charges == sorted(charges)
+
+
+def test_overcharge_zero_on_ideal_run(model):
+    wl = small_workload(n_requests=200, load=0.8)
+    ideal = quick_run(wl, "ideal")
+    assert model.overcharge(ideal.records) == pytest.approx(0.0, abs=1e-12)
+    assert model.overcharge_ratio(ideal.records) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_overcharge_positive_under_contention(model):
+    wl = small_workload(n_requests=300, load=1.0, seed=8)
+    cfs = quick_run(wl, "cfs")
+    assert model.overcharge(cfs.records) > 0
+    assert (model.per_request_overcharge(cfs.records) >= -1e-12).all()
+
+
+def test_invoice_decomposition(model):
+    wl = small_workload(n_requests=200, load=1.0, seed=8)
+    run = quick_run(wl, "cfs")
+    recs = run.records
+    assert model.invoice(recs) == pytest.approx(
+        model.ideal_invoice(recs) + model.overcharge(recs)
+    )
+
+
+def test_report_covers_all_runs(model):
+    wl = small_workload(n_requests=200, load=0.9)
+    runs = {"cfs": quick_run(wl, "cfs"), "sfs": quick_run(wl, "sfs")}
+    rep = overcharge_report(runs, model)
+    assert set(rep) == {"cfs", "sfs"}
+    for stats in rep.values():
+        assert stats["invoice"] >= stats["ideal"] > 0
+
+
+def test_ext_billing_shape():
+    cfg = dataclasses.replace(ext_billing.Config.scaled(), n_requests=1500)
+    res = ext_billing.run(cfg, seed=0)
+    hi = max(cfg.loads)
+    # oracle <= sfs <= cfs on total overcharge at saturation
+    r_cfs = ext_billing.overcharge_ratio(res, hi, "cfs")
+    r_sfs = ext_billing.overcharge_ratio(res, hi, "sfs")
+    r_srtf = ext_billing.overcharge_ratio(res, hi, "srtf")
+    assert r_srtf <= r_sfs <= r_cfs
+    assert r_cfs > 0.5  # CFS overcharges massively at saturation
+    out = ext_billing.render(res)
+    assert "short-function overcharge" in out

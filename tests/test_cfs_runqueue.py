@@ -1,0 +1,156 @@
+"""CFS runqueue model: slices, placement, preemption, min_vruntime."""
+
+import pytest
+
+from repro.sched.cfs import NICE_0_WEIGHT, CfsParams, CfsRunqueue
+from repro.sim.task import cpu_task
+from repro.sim.units import MS
+
+
+@pytest.fixture
+def rq():
+    return CfsRunqueue(CfsParams())
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        CfsParams(sched_latency=0)
+    with pytest.raises(ValueError):
+        CfsParams(min_granularity=30 * MS, sched_latency=24 * MS)
+
+
+def test_timeslice_latency_division():
+    p = CfsParams(sched_latency=24 * MS, min_granularity=3 * MS)
+    assert p.timeslice(1) == 24 * MS
+    assert p.timeslice(2) == 12 * MS
+    assert p.timeslice(8) == 3 * MS
+    # the floor: many tasks cannot shrink the slice below min_granularity
+    assert p.timeslice(100) == 3 * MS
+
+
+def test_timeslice_weighted():
+    p = CfsParams()
+    heavy = p.timeslice(2, weight=2 * NICE_0_WEIGHT, total_weight=3 * NICE_0_WEIGHT)
+    light = p.timeslice(2, weight=NICE_0_WEIGHT, total_weight=3 * NICE_0_WEIGHT)
+    assert heavy == 2 * light
+
+
+def test_pick_next_smallest_vruntime(rq):
+    a = cpu_task(100)
+    b = cpu_task(100)
+    a.vruntime = 500
+    b.vruntime = 200
+    rq.enqueue(a)
+    rq.enqueue(b)
+    assert rq.pick_next() is b
+    assert rq.pick_next() is a
+    assert rq.pick_next() is None
+
+
+def test_fifo_among_equal_vruntime(rq):
+    tasks = [cpu_task(100) for _ in range(5)]
+    for t in tasks:
+        rq.enqueue(t)
+    assert [rq.pick_next() for _ in range(5)] == tasks
+
+
+def test_double_enqueue_rejected(rq):
+    t = cpu_task(100)
+    rq.enqueue(t)
+    with pytest.raises(RuntimeError):
+        rq.enqueue(t)
+
+
+def test_dequeue_specific_task(rq):
+    a, b = cpu_task(100), cpu_task(100)
+    rq.enqueue(a)
+    rq.enqueue(b)
+    rq.dequeue(a)
+    assert len(rq) == 1
+    assert rq.pick_next() is b
+    with pytest.raises(RuntimeError):
+        rq.dequeue(a)
+
+
+def test_new_task_clamped_to_min_vruntime(rq):
+    old = cpu_task(100)
+    old.vruntime = 10_000
+    rq.enqueue(old)
+    rq.pick_next()
+    rq.update_curr(10_000)
+    fresh = cpu_task(100)  # vruntime 0
+    rq.enqueue(fresh)
+    assert fresh.vruntime == rq.min_vruntime  # cannot starve the queue
+
+
+def test_wakeup_placement_gets_sleeper_credit():
+    params = CfsParams()
+    rq = CfsRunqueue(params)
+    runner = cpu_task(100)
+    runner.vruntime = 100_000
+    rq.enqueue(runner)
+    rq.pick_next()
+    rq.update_curr(100_000)
+    sleeper = cpu_task(100)
+    sleeper.vruntime = 0
+    rq.enqueue(sleeper, wakeup=True)
+    assert sleeper.vruntime == rq.min_vruntime - params.sched_latency // 2
+
+
+def test_wakeup_placement_does_not_inflate_vruntime(rq):
+    ahead = cpu_task(100)
+    ahead.vruntime = 999_999
+    rq.enqueue(ahead, wakeup=True)
+    assert ahead.vruntime == 999_999  # placement only lifts, never raises
+
+
+def test_min_vruntime_monotone(rq):
+    for v in (100, 50, 400, 20):
+        t = cpu_task(10)
+        t.vruntime = v
+        rq.enqueue(t)
+        rq.pick_next()
+    first = rq.min_vruntime
+    rq.update_curr(10)
+    assert rq.min_vruntime >= first  # never flows backwards
+
+
+def test_should_preempt_uses_wakeup_granularity():
+    params = CfsParams(wakeup_granularity=4 * MS)
+    rq = CfsRunqueue(params)
+    curr = cpu_task(100)
+    woken = cpu_task(100)
+    curr.vruntime = 10 * MS
+    woken.vruntime = 7 * MS
+    assert not rq.should_preempt(woken, curr)  # deficit 3 ms < 4 ms
+    woken.vruntime = 5 * MS
+    assert rq.should_preempt(woken, curr)  # deficit 5 ms > 4 ms
+
+
+def test_timeslice_for_counts_running_task(rq):
+    t = cpu_task(100)
+    # empty queue + 1 running -> full latency
+    assert rq.timeslice_for(t) == rq.params.sched_latency
+    other = cpu_task(100)
+    rq.enqueue(other)
+    assert rq.timeslice_for(t) == rq.params.sched_latency // 2
+
+
+def test_total_weight_tracking(rq):
+    a = cpu_task(100)
+    b = cpu_task(100, weight=2048)
+    rq.enqueue(a)
+    rq.enqueue(b)
+    assert rq.total_weight == 1024 + 2048
+    rq.dequeue(b)
+    assert rq.total_weight == 1024
+
+
+def test_tasks_snapshot_in_vruntime_order(rq):
+    ts = []
+    for v in (300, 100, 200):
+        t = cpu_task(10)
+        t.vruntime = v
+        rq.enqueue(t)
+        ts.append(t)
+    assert rq.tasks() == [ts[1], ts[2], ts[0]]

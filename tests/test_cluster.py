@@ -1,0 +1,104 @@
+"""FaaS cluster and global placement policies (§VIII-A future work)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from conftest import small_workload
+from repro.experiments import ext_cluster
+from repro.faas.cluster import ClusterConfig, FaaSCluster, run_cluster
+from repro.faas.openlambda import OpenLambdaConfig
+from repro.machine.base import MachineParams
+from repro.sim.engine import Simulator
+
+
+def host_cfg(cores=4, scheduler="cfs"):
+    return OpenLambdaConfig(machine=MachineParams(n_cores=cores),
+                            scheduler=scheduler)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ClusterConfig(n_hosts=0)
+    with pytest.raises(ValueError):
+        ClusterConfig(placement="teleport")
+    with pytest.raises(ValueError):
+        ClusterConfig(long_threshold=0)
+
+
+def test_round_robin_spreads_evenly():
+    wl = small_workload(n_requests=120, n_cores=16, load=0.5)
+    res = run_cluster(wl, ClusterConfig(n_hosts=4, host=host_cfg(),
+                                        placement="round_robin"))
+    placements = res.meta["placements"]
+    counts = np.bincount(placements, minlength=4)
+    assert (counts == 30).all()
+
+
+def test_all_requests_complete_and_merge():
+    wl = small_workload(n_requests=300, n_cores=16, load=0.9, seed=4)
+    res = run_cluster(wl, ClusterConfig(n_hosts=4, host=host_cfg()))
+    assert len(res.records) == 300
+    assert sorted(r.req_id for r in res.records) == list(range(300))
+    assert res.n_cores == 16
+
+
+def test_least_loaded_prefers_idle_hosts():
+    sim = Simulator()
+    cluster = FaaSCluster(sim, ClusterConfig(n_hosts=3, host=host_cfg()))
+    wl = small_workload(n_requests=30, n_cores=12, load=1.0)
+    specs = list(wl)
+    # dispatch everything at once: placements must rotate across hosts
+    for spec in specs[:6]:
+        cluster.dispatch(spec)
+    assert set(cluster.placements[:6]) == {0, 1, 2}
+
+
+def test_work_estimator_resets_when_drained():
+    sim = Simulator()
+    cluster = FaaSCluster(sim, ClusterConfig(n_hosts=2, host=host_cfg()))
+    wl = small_workload(n_requests=20, n_cores=8, load=0.5)
+    for spec in wl:
+        sim.schedule_at(spec.arrival, cluster.dispatch, spec)
+    sim.run()
+    assert all(w == 0.0 for w in cluster._work)
+    assert all(h.outstanding == 0 for h in cluster.hosts)
+
+
+def test_predictor_learns_across_hosts():
+    sim = Simulator()
+    cluster = FaaSCluster(sim, ClusterConfig(n_hosts=2, host=host_cfg()))
+    wl = small_workload(n_requests=100, n_cores=8, load=0.8)
+    for spec in wl:
+        sim.schedule_at(spec.arrival, cluster.dispatch, spec)
+    sim.run()
+    assert cluster.predictor.observations == 100
+
+
+def test_load_aware_beats_round_robin_on_long_tail():
+    cfg = dataclasses.replace(
+        ext_cluster.Config.scaled(), n_requests=2000, cores_per_host=6
+    )
+    res = ext_cluster.run(cfg, seed=0)
+    assert ext_cluster.long_tail_gain(res, "least_loaded") > 1.05
+    # the short majority is unaffected by the placement policy
+    from repro.experiments.common import SHORT_CPU_BOUND_US
+
+    for policy, r in res.runs.items():
+        shorts = r.array("cpu_demand") < SHORT_CPU_BOUND_US
+        p50 = np.percentile(r.turnarounds[shorts], 50)
+        base = np.percentile(
+            res.runs["round_robin"].turnarounds[
+                res.runs["round_robin"].array("cpu_demand") < SHORT_CPU_BOUND_US
+            ],
+            50,
+        )
+        assert p50 < base * 1.3, policy
+
+
+def test_ext_cluster_renders():
+    cfg = dataclasses.replace(ext_cluster.Config.scaled(), n_requests=500)
+    res = ext_cluster.run(cfg, seed=1)
+    out = ext_cluster.render(res)
+    assert "round_robin" in out and "offload_long" in out

@@ -1,0 +1,127 @@
+"""Duration/IAT distribution models."""
+
+import numpy as np
+import pytest
+
+from repro.sim.units import MS
+from repro.workload.distributions import (
+    TABLE_I,
+    BurstyIAT,
+    DurationBin,
+    PoissonIAT,
+    ReplayIAT,
+    TableIDurations,
+    UniformIAT,
+    mean_iat_for_load,
+)
+from repro.workload.functions import fib_duration
+
+
+def test_table1_probabilities_sum_near_one():
+    assert sum(b.probability for b in TABLE_I) == pytest.approx(0.956, abs=1e-9)
+    # the missing 4.4% are the <1%-probability gaps the paper drops
+
+
+def test_table1_bin_membership():
+    b = TABLE_I[0]
+    assert b.contains(10 * MS)
+    assert not b.contains(50 * MS)
+    open_bin = TABLE_I[-1]
+    assert open_bin.contains(100_000 * MS)  # open-ended
+
+
+def test_sampler_bin_masses(rng):
+    sampler = TableIDurations()
+    ns = sampler.sample_many(rng, 40_000)
+    durations = np.array([fib_duration(int(n)) for n in ns])
+    total_p = sum(b.probability for b in TABLE_I)
+    for b in TABLE_I:
+        hi = b.high_us if b.high_us is not None else np.inf
+        mass = ((durations >= b.low_us) & (durations < hi)).mean()
+        assert mass == pytest.approx(b.probability / total_p, abs=0.01)
+
+
+def test_sampler_ns_within_ranges(rng):
+    sampler = TableIDurations()
+    for _ in range(200):
+        n = sampler.sample_n(rng)
+        assert any(b.n_low <= n <= b.n_high for b in TABLE_I)
+
+
+def test_mean_duration_matches_empirical(rng):
+    sampler = TableIDurations()
+    ns = sampler.sample_many(rng, 50_000)
+    emp = np.mean([fib_duration(int(n)) for n in ns])
+    assert sampler.mean_duration() == pytest.approx(emp, rel=0.03)
+
+
+def test_invalid_bin_probability():
+    with pytest.raises(ValueError):
+        TableIDurations([DurationBin(0.0, 0, 100, 1, 2)])
+
+
+def test_poisson_iat_mean(rng):
+    iats = PoissonIAT(10 * MS).sample(rng, 20_000)
+    assert iats.mean() == pytest.approx(10 * MS, rel=0.05)
+    assert (iats >= 1).all()
+
+
+def test_poisson_invalid():
+    with pytest.raises(ValueError):
+        PoissonIAT(0)
+
+
+def test_uniform_iat_bounds(rng):
+    proc = UniformIAT(5 * MS, 15 * MS)
+    iats = proc.sample(rng, 5000)
+    assert iats.min() >= 5 * MS - 1
+    assert iats.max() <= 15 * MS + 1
+    assert proc.mean_us == 10 * MS
+
+
+def test_uniform_invalid():
+    with pytest.raises(ValueError):
+        UniformIAT(10, 5)
+
+
+def test_bursty_iat_creates_spikes(rng):
+    proc = BurstyIAT(10 * MS, spike_factor=20, spike_len=400, n_spikes=3)
+    iats = proc.sample(rng, 5000)
+    arrivals = np.cumsum(iats)
+    # arrival counts per window: spikes produce windows far above the mean
+    bins = np.histogram(arrivals, bins=50)[0]
+    assert bins.max() > 3 * np.median(bins)
+
+
+def test_bursty_mean_below_nominal(rng):
+    # spikes compress IATs, so the realized mean is below the base mean
+    proc = BurstyIAT(10 * MS, spike_factor=20, spike_len=400, n_spikes=3)
+    iats = proc.sample(rng, 5000)
+    assert iats.mean() < 10 * MS
+
+
+def test_bursty_invalid():
+    with pytest.raises(ValueError):
+        BurstyIAT(10 * MS, spike_factor=0.5)
+
+
+def test_replay_iat_exact():
+    proc = ReplayIAT([5, 10, 15])
+    out = proc.sample(np.random.default_rng(0), 7)
+    assert list(out) == [5, 10, 15, 5, 10, 15, 5]
+    assert proc.mean_us == 10
+
+
+def test_replay_invalid():
+    with pytest.raises(ValueError):
+        ReplayIAT([])
+    with pytest.raises(ValueError):
+        ReplayIAT([5, 0])
+
+
+def test_mean_iat_for_load_inverts_rho():
+    # rho = E[D] / (IAT * c): with E[D]=480ms, c=12, rho=0.8
+    iat = mean_iat_for_load(480 * MS, 12, 0.8)
+    assert 480 * MS / (iat * 12) == pytest.approx(0.8)
+    with pytest.raises(ValueError):
+        mean_iat_for_load(480 * MS, 12, 0)

@@ -1,0 +1,123 @@
+"""FaaSBench workload generation."""
+
+import numpy as np
+import pytest
+
+from repro.sim.task import BurstKind
+from repro.sim.units import MS
+from repro.workload.faasbench import OPENLAMBDA_MIX, FaaSBench, FaaSBenchConfig
+
+
+def gen(**kw):
+    defaults = dict(n_requests=3000, n_cores=12, target_load=0.8)
+    defaults.update(kw)
+    return FaaSBench(FaaSBenchConfig(**defaults), seed=1).generate()
+
+
+def test_offered_load_close_to_target():
+    for target in (0.5, 0.8, 1.0):
+        wl = gen(target_load=target)
+        assert wl.offered_load(12) == pytest.approx(target, rel=0.1)
+
+
+def test_arrivals_sorted_and_positive():
+    wl = gen()
+    arrivals = [r.arrival for r in wl]
+    assert arrivals == sorted(arrivals)
+    assert arrivals[0] >= 1
+
+
+def test_request_ids_unique():
+    wl = gen()
+    ids = [r.req_id for r in wl]
+    assert len(set(ids)) == len(ids)
+
+
+def test_io_fraction_respected():
+    wl = gen(io_fraction=0.75)
+    with_io = sum(1 for r in wl if r.bursts[0].kind is BurstKind.IO)
+    assert with_io / len(wl) == pytest.approx(0.75, abs=0.03)
+
+
+def test_io_knob_range():
+    wl = gen(io_fraction=1.0, io_range=(10 * MS, 100 * MS))
+    for r in wl:
+        assert r.bursts[0].kind is BurstKind.IO
+        assert 10 * MS <= r.bursts[0].duration <= 100 * MS
+
+
+def test_fib_only_default():
+    wl = gen()
+    assert {r.app for r in wl} == {"fib"}
+    for r in wl.requests[:50]:
+        assert r.name.startswith("fib-")
+
+
+def test_openlambda_mix():
+    wl = gen(app_mix=OPENLAMBDA_MIX, n_requests=6000)
+    counts = {}
+    for r in wl:
+        counts[r.app] = counts.get(r.app, 0) + 1
+    assert counts["fib"] / len(wl) == pytest.approx(0.5, abs=0.03)
+    assert counts["md"] / len(wl) == pytest.approx(0.25, abs=0.03)
+    assert counts["sa"] / len(wl) == pytest.approx(0.25, abs=0.03)
+
+
+def test_mixed_load_accounts_for_io_share():
+    # md/sa use less CPU, so the generator must compress IATs to keep
+    # the *CPU* load at target
+    wl = gen(app_mix=OPENLAMBDA_MIX, n_requests=6000, target_load=0.8)
+    assert wl.offered_load(12) == pytest.approx(0.8, rel=0.12)
+
+
+def test_replay_mode_preserves_pattern_and_rescales_load():
+    wl = gen(iat_kind="replay", replay_iats=(5 * MS, 10 * MS), n_requests=1000)
+    arrivals = [r.arrival for r in wl]
+    iats = np.diff(arrivals)
+    # the 1:2 alternating pattern survives the proportional rescale
+    uniq = sorted(set(iats.tolist()))
+    assert len(uniq) == 2
+    assert uniq[1] == pytest.approx(2 * uniq[0], rel=0.01)
+    # and the rescale hits the requested load (SVIII-A)
+    assert wl.offered_load(12) == pytest.approx(0.8, rel=0.1)
+
+
+def test_bursty_mode_has_spikes():
+    wl = gen(iat_kind="bursty", n_requests=5000, spike_len=400, n_spikes=3)
+    arrivals = np.array([r.arrival for r in wl])
+    bins = np.histogram(arrivals, bins=40)[0]
+    assert bins.max() > 2.5 * np.median(bins)
+
+
+def test_deterministic_given_seed():
+    a = FaaSBench(FaaSBenchConfig(n_requests=500), seed=9).generate()
+    b = FaaSBench(FaaSBenchConfig(n_requests=500), seed=9).generate()
+    assert [(r.arrival, r.bursts) for r in a] == [(r.arrival, r.bursts) for r in b]
+
+
+def test_different_seeds_differ():
+    a = FaaSBench(FaaSBenchConfig(n_requests=500), seed=1).generate()
+    b = FaaSBench(FaaSBenchConfig(n_requests=500), seed=2).generate()
+    assert [r.arrival for r in a] != [r.arrival for r in b]
+
+
+@pytest.mark.parametrize(
+    "kw",
+    [
+        {"n_requests": 0},
+        {"io_fraction": 1.5},
+        {"iat_kind": "weird"},
+        {"iat_kind": "replay"},  # missing replay_iats
+        {"app_mix": (("nope", 1.0),)},
+        {"app_mix": (("fib", 0.0),)},
+    ],
+)
+def test_config_validation(kw):
+    with pytest.raises(ValueError):
+        FaaSBenchConfig(**kw)
+
+
+def test_meta_records_provenance():
+    wl = gen(target_load=0.9)
+    assert wl.meta["generator"] == "FaaSBench"
+    assert wl.meta["target_load"] == 0.9

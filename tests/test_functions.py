@@ -1,0 +1,92 @@
+"""fib/md/sa function models and the fib-N calibration."""
+
+import numpy as np
+import pytest
+
+from repro.sim.task import BurstKind
+from repro.sim.units import MS
+from repro.workload.functions import (
+    PHI,
+    fib_duration,
+    fib_n_for_duration,
+    make_fib,
+    make_md,
+    make_sa,
+)
+
+
+def test_fib_growth_rate_is_phi():
+    for n in range(20, 35):
+        assert fib_duration(n + 1) / fib_duration(n) == pytest.approx(PHI, rel=1e-3)
+
+
+def test_fib_table1_anchors():
+    # §VII: "fib with an N between 20-26 finishes execution in < 45 ms"
+    for n in range(20, 27):
+        assert fib_duration(n) < 45 * MS
+    # Table I bin memberships
+    for n in (27, 28):
+        assert 50 * MS <= fib_duration(n) < 100 * MS
+    assert 100 * MS <= fib_duration(29) < 200 * MS
+    for n in (30, 31):
+        assert 200 * MS <= fib_duration(n) < 400 * MS
+    for n in (34, 35):
+        assert fib_duration(n) >= 1550 * MS
+
+
+def test_fib_n_for_duration_inverts():
+    for n in range(15, 36):
+        assert fib_n_for_duration(fib_duration(n)) == n
+
+
+def test_fib_invalid_inputs():
+    with pytest.raises(ValueError):
+        fib_duration(0)
+    with pytest.raises(ValueError):
+        fib_n_for_duration(0)
+
+
+def test_make_fib_pure_cpu():
+    bursts = make_fib(25, rng=None, jitter_sigma=0)
+    assert len(bursts) == 1
+    assert bursts[0].kind is BurstKind.CPU
+    assert bursts[0].duration == fib_duration(25)
+
+
+def test_make_fib_with_io_knob(rng):
+    bursts = make_fib(25, io=True, rng=rng)
+    assert len(bursts) == 2
+    assert bursts[0].kind is BurstKind.IO
+    assert 10 * MS <= bursts[0].duration <= 100 * MS
+    assert bursts[1].kind is BurstKind.CPU
+
+
+def test_make_fib_jitter_is_small(rng):
+    durations = [make_fib(29, rng=rng)[0].duration for _ in range(300)]
+    mean = np.mean(durations)
+    assert mean == pytest.approx(fib_duration(29), rel=0.05)
+    assert np.std(durations) > 0
+
+
+def test_md_is_io_heavy():
+    bursts = make_md(100 * MS, rng=None, jitter_sigma=0)
+    io = sum(b.duration for b in bursts if b.kind is BurstKind.IO)
+    cpu = sum(b.duration for b in bursts if b.kind is BurstKind.CPU)
+    assert io > cpu  # markdown generation is I/O-intensive
+    assert bursts[0].kind is BurstKind.IO  # leading read
+    assert bursts[-1].kind is BurstKind.IO  # trailing write
+
+
+def test_sa_is_cpu_leaning_mixed():
+    bursts = make_sa(100 * MS, rng=None, jitter_sigma=0)
+    io = sum(b.duration for b in bursts if b.kind is BurstKind.IO)
+    cpu = sum(b.duration for b in bursts if b.kind is BurstKind.CPU)
+    assert cpu > io  # prediction dominates
+    assert bursts[0].kind is BurstKind.IO  # dictionary load first
+
+
+def test_app_totals_preserve_duration():
+    for maker in (make_md, make_sa):
+        bursts = maker(200 * MS, rng=None, jitter_sigma=0)
+        total = sum(b.duration for b in bursts)
+        assert total == pytest.approx(200 * MS, rel=0.01)

@@ -1,0 +1,196 @@
+"""Metrics: RTE, stats helpers, timelines, collector."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.collector import RequestRecord, RunResult, build_records
+from repro.metrics.rte import rte, rte_normalized
+from repro.metrics.stats import (
+    ecdf,
+    fraction_at_least,
+    fraction_below,
+    improvement_summary,
+    paired_speedup,
+    percentile,
+    percentiles,
+    slowdown_percentiles,
+)
+from repro.metrics.timeline import bin_series, step_value_at
+from repro.sim.task import Burst, BurstKind, Task
+from repro.sim.units import MS
+from repro.workload.spec import RequestSpec
+
+
+# ----------------------------------------------------------------------
+# RTE
+# ----------------------------------------------------------------------
+def test_rte_formula():
+    assert rte(50, 100) == 0.5
+    assert rte(100, 100) == 1.0
+
+
+def test_rte_validation():
+    with pytest.raises(ValueError):
+        rte(-1, 100)
+    with pytest.raises(ValueError):
+        rte(10, 0)
+
+
+def test_rte_normalized_reaches_one_with_io():
+    # a 30ms CPU + 20ms IO function run in isolation: RTE = 0.6, nRTE = 1
+    assert rte(30, 50) == pytest.approx(0.6)
+    assert rte_normalized(50, 50) == 1.0
+
+
+# ----------------------------------------------------------------------
+# stats
+# ----------------------------------------------------------------------
+def test_ecdf_monotone():
+    xs, ys = ecdf([3, 1, 2, 2])
+    assert list(xs) == [1, 2, 2, 3]
+    assert list(ys) == [0.25, 0.5, 0.75, 1.0]
+
+
+def test_ecdf_empty_rejected():
+    with pytest.raises(ValueError):
+        ecdf([])
+
+
+def test_percentiles():
+    vals = list(range(1, 101))
+    assert percentile(vals, 50) == pytest.approx(50.5)
+    ps = percentiles(vals, (50, 99))
+    assert set(ps) == {50, 99}
+
+
+def test_fractions():
+    vals = [0.1, 0.5, 0.9, 1.0]
+    assert fraction_below(vals, 0.5) == 0.25
+    assert fraction_at_least(vals, 0.5) == 0.75
+
+
+def test_paired_speedup_requires_equal_length():
+    with pytest.raises(ValueError):
+        paired_speedup([1, 2], [1])
+
+
+def test_improvement_summary_decomposition():
+    base = np.array([100.0, 100, 100, 100])
+    treat = np.array([10.0, 20, 50, 200])  # 3 improved, 1 worse
+    s = improvement_summary(base, treat)
+    assert s["fraction_improved"] == 0.75
+    assert s["mean_speedup_improved"] == pytest.approx((10 + 5 + 2) / 3)
+    assert s["mean_slowdown_rest"] == pytest.approx(2.0)
+
+
+def test_improvement_summary_all_improved():
+    s = improvement_summary([10, 10], [1, 2])
+    assert s["fraction_improved"] == 1.0
+    assert s["mean_slowdown_rest"] == 1.0
+
+
+def test_slowdown_percentiles_direction():
+    base = np.array([100.0] * 10)
+    treat = np.array([10.0] * 10)
+    sd = slowdown_percentiles(base, treat, (50,))
+    assert sd[50] == pytest.approx(10.0)  # baseline is 10x slower
+
+
+# ----------------------------------------------------------------------
+# timeline
+# ----------------------------------------------------------------------
+def test_bin_series_max():
+    samples = [(0, 1.0), (500, 5.0), (1500, 2.0)]
+    ts, vs = bin_series(samples, bin_us=1000)
+    assert list(ts) == [0, 1000]
+    assert list(vs) == [5.0, 2.0]
+
+
+def test_bin_series_mean():
+    samples = [(0, 2.0), (500, 4.0)]
+    _ts, vs = bin_series(samples, bin_us=1000, agg="mean")
+    assert vs[0] == 3.0
+
+
+def test_bin_series_last_forward_fills():
+    samples = [(0, 7.0), (2500, 9.0)]
+    _ts, vs = bin_series(samples, bin_us=1000, agg="last", end_time=4000)
+    assert list(vs) == [7.0, 7.0, 9.0, 9.0]
+
+
+def test_bin_series_empty_bins_nan():
+    samples = [(0, 1.0), (3500, 2.0)]
+    _ts, vs = bin_series(samples, bin_us=1000)
+    assert np.isnan(vs[1]) and np.isnan(vs[2])
+
+
+def test_bin_series_validation():
+    with pytest.raises(ValueError):
+        bin_series([(0, 1.0)], bin_us=0)
+    with pytest.raises(ValueError):
+        bin_series([(0, 1.0)], bin_us=10, agg="sum")
+    ts, vs = bin_series([], bin_us=10)
+    assert ts.size == 0
+
+
+def test_step_value_at():
+    samples = [(0, 10.0), (100, 20.0)]
+    assert step_value_at(samples, 50) == 10.0
+    assert step_value_at(samples, 100) == 20.0
+    assert np.isnan(step_value_at(samples, -1))
+
+
+# ----------------------------------------------------------------------
+# collector
+# ----------------------------------------------------------------------
+def _finished_pair(req_id=0, cpu=10 * MS, io=0, dispatch=5, finish=None):
+    bursts = []
+    if io:
+        bursts.append(Burst(BurstKind.IO, io))
+    bursts.append(Burst(BurstKind.CPU, cpu))
+    spec = RequestSpec(req_id=req_id, arrival=0, bursts=tuple(bursts))
+    task = spec.make_task()
+    task.dispatch_time = dispatch
+    task.finish_time = finish if finish is not None else dispatch + cpu + io
+    task.cpu_time = cpu
+    task.io_time = io
+    from repro.sim.task import TaskState
+
+    task.state = TaskState.FINISHED
+    return spec, task
+
+
+def test_build_records_basic():
+    recs = build_records([_finished_pair(req_id=3)])
+    r = recs[0]
+    assert r.req_id == 3
+    assert r.turnaround == 10 * MS
+    assert r.end_to_end == r.finish
+    assert r.rte == pytest.approx(1.0)
+
+
+def test_build_records_rejects_unfinished():
+    spec, task = _finished_pair()
+    from repro.sim.task import TaskState
+
+    task.state = TaskState.RUNNING
+    with pytest.raises(RuntimeError):
+        build_records([(spec, task)])
+
+
+def test_run_result_ordering_and_arrays():
+    pairs = [_finished_pair(req_id=i, cpu=(i + 1) * MS) for i in (2, 0, 1)]
+    res = RunResult(
+        scheduler="cfs", engine="fluid", records=build_records(pairs),
+        sim_time=1000, busy_time=500, n_cores=2,
+    )
+    assert [r.req_id for r in res.records] == [0, 1, 2]
+    assert list(res.array("cpu_demand")) == [1 * MS, 2 * MS, 3 * MS]
+    assert res.utilization == 0.25
+
+
+def test_request_record_rte_normalized():
+    recs = build_records([_finished_pair(cpu=30 * MS, io=20 * MS)])
+    r = recs[0]
+    assert r.rte == pytest.approx(0.6)
+    assert r.rte_normalized == pytest.approx(1.0)

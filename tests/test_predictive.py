@@ -1,0 +1,182 @@
+"""Duration predictor and the size-based PredictiveSFS variant."""
+
+import numpy as np
+import pytest
+
+from conftest import make_cpu_task
+from repro.core.config import SFSConfig
+from repro.core.global_queue import QueueEntry
+from repro.core.predictive import PredictiveSFS, PriorityGlobalQueue
+from repro.core.predictor import DurationPredictor
+from repro.machine.base import MachineParams
+from repro.machine.fluid import FluidMachine
+from repro.sim.engine import Simulator
+from repro.sim.units import MS
+
+
+# ----------------------------------------------------------------------
+# DurationPredictor
+# ----------------------------------------------------------------------
+def test_predictor_validation():
+    with pytest.raises(ValueError):
+        DurationPredictor(alpha=0)
+    with pytest.raises(ValueError):
+        DurationPredictor(prior_us=0)
+    p = DurationPredictor()
+    with pytest.raises(ValueError):
+        p.observe("x", 0)
+
+
+def test_predictor_prior_then_global_then_app():
+    p = DurationPredictor(prior_us=100 * MS)
+    assert p.predict("unknown") == 100 * MS  # pure prior
+    p.observe("a", 10 * MS)
+    assert p.predict("b") == 10 * MS  # global fallback
+    assert p.predict("a") == 10 * MS
+    assert p.confidence("a") == 1
+    assert p.confidence("b") == 0
+
+
+def test_predictor_ema_converges():
+    p = DurationPredictor(alpha=0.5)
+    for _ in range(20):
+        p.observe("a", 40 * MS)
+    assert p.predict("a") == pytest.approx(40 * MS, rel=0.01)
+    # a shift in behaviour is tracked
+    for _ in range(20):
+        p.observe("a", 80 * MS)
+    assert p.predict("a") == pytest.approx(80 * MS, rel=0.01)
+
+
+def test_predictor_per_app_separation():
+    p = DurationPredictor()
+    for _ in range(10):
+        p.observe("short", 5 * MS)
+        p.observe("long", 500 * MS)
+    assert p.predict("short") < p.predict("long") / 10
+    assert p.known_apps() == 2
+    assert p.observations == 20
+
+
+# ----------------------------------------------------------------------
+# PriorityGlobalQueue
+# ----------------------------------------------------------------------
+def entry(tid_name="t", at=0):
+    task = make_cpu_task(10 * MS, name=tid_name)
+    return QueueEntry(task=task, enqueue_ts=at, invoke_ts=at)
+
+
+def test_priority_queue_orders_by_priority():
+    q = PriorityGlobalQueue()
+    q.push(entry("slow"), priority=100.0)
+    q.push(entry("fast"), priority=1.0)
+    q.push(entry("mid"), priority=50.0)
+    names = [q.pop(0).task.name for _ in range(3)]
+    assert names == ["fast", "mid", "slow"]
+    assert q.pop(0) is None
+
+
+def test_priority_queue_fifo_within_priority():
+    q = PriorityGlobalQueue()
+    q.push(entry("a"), priority=5.0)
+    q.push(entry("b"), priority=5.0)
+    assert q.pop(0).task.name == "a"
+    assert q.pop(0).task.name == "b"
+
+
+def test_priority_queue_tracks_delays():
+    q = PriorityGlobalQueue()
+    q.push(entry(at=10), priority=1.0)
+    q.pop(60)
+    assert q.delay_samples == [(60, 50)]
+    assert q.head_delay(99) is None
+
+
+# ----------------------------------------------------------------------
+# PredictiveSFS end to end
+# ----------------------------------------------------------------------
+def run_predictive(n=200, cores=2, seed=4):
+    sim = Simulator()
+    m = FluidMachine(sim, MachineParams(n_cores=cores))
+    layer = PredictiveSFS(m, SFSConfig())
+    rng = np.random.default_rng(seed)
+    tasks = []
+    t = 0
+    for i in range(n):
+        # two function identities with very different sizes
+        if rng.random() < 0.7:
+            task = make_cpu_task(int(rng.uniform(5, 20) * MS), name="tiny")
+        else:
+            task = make_cpu_task(int(rng.uniform(300, 600) * MS), name="big")
+        t += int(rng.exponential(25 * MS))
+        tasks.append(task)
+
+        def go(task=task):
+            m.spawn(task)
+            layer.submit(task)
+
+        sim.schedule_at(t, go)
+    sim.run()
+    return sim, layer, tasks
+
+
+def test_predictive_completes_and_learns():
+    _sim, layer, tasks = run_predictive()
+    assert all(t.finished for t in tasks)
+    assert layer.predictor.known_apps() == 2
+    assert layer.predictor.observations == len(tasks)
+
+
+def test_predictive_pops_shortest_predicted_first():
+    """With the predictor warmed up, a queued tiny function jumps a
+    queued big one even though the big one arrived first."""
+    sim = Simulator()
+    m = FluidMachine(sim, MachineParams(n_cores=1))
+    layer = PredictiveSFS(m, SFSConfig(initial_slice=2000 * MS))
+    # warm up the predictor
+    for _ in range(5):
+        layer.predictor.observe("tiny", 10 * MS)
+        layer.predictor.observe("big", 500 * MS)
+
+    hog = make_cpu_task(400 * MS, name="big")
+    big2 = make_cpu_task(500 * MS, name="big")
+    tiny = make_cpu_task(10 * MS, name="tiny")
+
+    def go(task):
+        m.spawn(task)
+        layer.submit(task)
+
+    sim.schedule_at(0, go, hog)          # occupies the single worker
+    sim.schedule_at(10 * MS, go, big2)   # queued first...
+    sim.schedule_at(20 * MS, go, tiny)   # ...but predicted far shorter
+    sim.run()
+    assert tiny.finish_time < big2.finish_time
+
+
+def test_predictive_rejects_per_worker_queues():
+    sim = Simulator()
+    m = FluidMachine(sim, MachineParams(n_cores=2))
+    with pytest.raises(ValueError):
+        PredictiveSFS(m, SFSConfig(per_worker_queues=True))
+    with pytest.raises(ValueError):
+        PredictiveSFS(FluidMachine(Simulator(), MachineParams(n_cores=2)),
+                      slice_headroom=0)
+
+
+def test_predictive_slices_match_predictions():
+    _sim, layer, tasks = run_predictive(n=300)
+    # learned tiny functions get small granted slices, big ones large
+    tiny_slices = [
+        getattr(t, "_sfs_slice_granted", None)
+        for t in tasks[150:]
+        if t.name == "tiny"
+    ]
+    big_slices = [
+        getattr(t, "_sfs_slice_granted", None)
+        for t in tasks[150:]
+        if t.name == "big"
+    ]
+    tiny_slices = [s for s in tiny_slices if s]
+    big_slices = [s for s in big_slices if s]
+    assert tiny_slices and big_slices
+    assert np.median(tiny_slices) < np.median(big_slices) / 5

@@ -1,0 +1,114 @@
+"""Property-based tests for the metrics layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.billing import BillingModel
+from repro.metrics.stats import (
+    ecdf,
+    fraction_at_least,
+    fraction_below,
+    improvement_summary,
+    paired_speedup,
+)
+from repro.metrics.timeline import bin_series
+from repro.sim.units import MS
+
+samples = st.lists(st.floats(0.1, 1e9, allow_nan=False), min_size=1, max_size=200)
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=samples)
+def test_ecdf_properties(values):
+    xs, ys = ecdf(values)
+    assert list(xs) == sorted(values)
+    assert (np.diff(ys) >= -1e-12).all()  # monotone
+    assert ys[-1] == pytest.approx(1.0)
+    assert ys[0] == pytest.approx(1 / len(values))
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=samples, bound=st.floats(0.1, 1e9))
+def test_fraction_complementarity(values, bound):
+    below = fraction_below(values, bound)
+    at_least = fraction_at_least(values, bound)
+    assert below + at_least == pytest.approx(1.0)
+    assert 0 <= below <= 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(base=samples)
+def test_improvement_summary_identity_run(base):
+    s = improvement_summary(base, base)
+    assert s["fraction_improved"] == 0.0
+    assert s["mean_slowdown_rest"] == pytest.approx(1.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    base=st.lists(st.floats(1, 1e6), min_size=2, max_size=50),
+    factor=st.floats(1.1, 100),
+)
+def test_uniform_speedup_detected(base, factor):
+    treatment = [b / factor for b in base]
+    s = improvement_summary(base, treatment)
+    assert s["fraction_improved"] == 1.0
+    assert s["mean_speedup_improved"] == pytest.approx(factor, rel=1e-6)
+    sp = paired_speedup(base, treatment)
+    assert np.allclose(sp, factor)
+
+
+@settings(max_examples=60, deadline=None)
+@given(duration=st.integers(0, 10_000_000))
+def test_billing_rounding_properties(duration):
+    m = BillingModel()
+    billed = m.billed_duration_us(duration)
+    assert billed >= duration                 # never undercharge
+    assert billed - duration < m.granularity_us  # never over-round
+    assert billed % m.granularity_us == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    durations=st.lists(st.integers(1, 5_000_000), min_size=1, max_size=40),
+)
+def test_billing_total_is_sum_of_parts(durations):
+    m = BillingModel()
+    total = sum(m.charge(d) for d in durations)
+    assert total >= len(durations) * m.per_invocation
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    points=st.lists(
+        st.tuples(st.integers(0, 10_000_000), st.floats(0, 1e6)),
+        min_size=1,
+        max_size=60,
+    ),
+    bin_us=st.integers(1000, 1_000_000),
+)
+def test_bin_series_max_never_invents_values(points, bin_us):
+    ts, vs = bin_series(points, bin_us=bin_us)
+    real = {v for _t, v in points}
+    for v in vs:
+        if not np.isnan(v):
+            assert v in real or any(abs(v - r) < 1e-9 for r in real)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    points=st.lists(
+        st.tuples(st.integers(0, 1_000_000), st.floats(0, 1e6)),
+        min_size=1,
+        max_size=60,
+    ),
+)
+def test_bin_series_mean_bounded_by_extremes(points):
+    _ts, vs = bin_series(points, bin_us=10_000, agg="mean")
+    lo = min(v for _t, v in points)
+    hi = max(v for _t, v in points)
+    for v in vs:
+        if not np.isnan(v):
+            assert lo - 1e-9 <= v <= hi + 1e-9

@@ -1,0 +1,156 @@
+"""Red-black tree: unit tests plus hypothesis model-based checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sched.rbtree import RBTree
+
+
+def test_empty_tree():
+    t = RBTree()
+    assert len(t) == 0
+    assert not t
+    assert t.min_node() is None
+    assert t.min_item() is None
+    assert t.pop_min() is None
+    assert list(t.items()) == []
+    t.check_invariants()
+
+
+def test_single_insert_and_delete():
+    t = RBTree()
+    node = t.insert(5, "five")
+    assert len(t) == 1
+    assert t.min_item() == (5, "five")
+    t.check_invariants()
+    t.delete(node)
+    assert len(t) == 0
+    t.check_invariants()
+
+
+def test_sorted_iteration():
+    t = RBTree()
+    keys = [7, 3, 9, 1, 5, 8, 2, 6, 4, 0]
+    for k in keys:
+        t.insert(k, str(k))
+    assert [k for k, _ in t.items()] == sorted(keys)
+    assert list(t.keys()) == sorted(keys)
+    assert list(t.values()) == [str(k) for k in sorted(keys)]
+
+
+def test_pop_min_drains_in_order():
+    t = RBTree()
+    for k in [5, 1, 9, 3, 7]:
+        t.insert(k)
+    popped = []
+    while t:
+        popped.append(t.pop_min()[0])
+    assert popped == [1, 3, 5, 7, 9]
+
+
+def test_duplicate_keys_allowed():
+    t = RBTree()
+    a = t.insert(5, "a")
+    b = t.insert(5, "b")
+    assert len(t) == 2
+    t.check_invariants()
+    t.delete(a)
+    assert t.min_item() == (5, "b")
+    t.delete(b)
+    assert not t
+
+
+def test_delete_interior_node():
+    t = RBTree()
+    nodes = {k: t.insert(k) for k in range(20)}
+    t.delete(nodes[10])
+    t.check_invariants()
+    assert 10 not in list(t.keys())
+    assert len(t) == 19
+
+
+def test_cached_leftmost_tracks_deletes():
+    t = RBTree()
+    nodes = {k: t.insert(k) for k in [4, 2, 8]}
+    assert t.min_item()[0] == 2
+    t.delete(nodes[2])
+    assert t.min_item()[0] == 4
+    t.delete(nodes[4])
+    assert t.min_item()[0] == 8
+
+
+def test_tuple_keys():
+    t = RBTree()
+    t.insert((100, 2), "b")
+    t.insert((100, 1), "a")
+    t.insert((50, 9), "c")
+    assert [v for _k, v in t.items()] == ["c", "a", "b"]
+
+
+def test_large_sequential_insert():
+    t = RBTree()
+    for k in range(1000):
+        t.insert(k)
+    t.check_invariants()
+    assert len(t) == 1000
+    # a balanced tree of 1000 keys must not be a 1000-deep list; the
+    # invariant checker (black-height equality) already guarantees this.
+
+
+def test_random_workout():
+    rng = np.random.default_rng(0)
+    t = RBTree()
+    live = {}
+    for i in range(2000):
+        if live and rng.random() < 0.45:
+            key = rng.choice(list(live))
+            t.delete(live.pop(key))
+        else:
+            k = int(rng.integers(0, 10_000))
+            while k in live:
+                k += 1
+            live[k] = t.insert(k)
+        if i % 200 == 0:
+            t.check_invariants()
+    t.check_invariants()
+    assert sorted(live) == list(t.keys())
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(-1000, 1000), max_size=80))
+def test_prop_insert_matches_sorted(keys):
+    t = RBTree()
+    for k in keys:
+        t.insert(k)
+    assert list(t.keys()) == sorted(keys)
+    t.check_invariants()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(0, 200), min_size=1, max_size=60),
+    st.data(),
+)
+def test_prop_interleaved_insert_delete(keys, data):
+    t = RBTree()
+    model = []
+    nodes = []
+    for k in keys:
+        nodes.append(t.insert(k))
+        model.append(k)
+    n_deletes = data.draw(st.integers(0, len(nodes)))
+    idxs = data.draw(
+        st.lists(
+            st.integers(0, len(nodes) - 1),
+            min_size=n_deletes,
+            max_size=n_deletes,
+            unique=True,
+        )
+    )
+    for i in idxs:
+        t.delete(nodes[i])
+        model.remove(keys[i])
+    assert list(t.keys()) == sorted(model)
+    t.check_invariants()

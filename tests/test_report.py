@@ -1,0 +1,49 @@
+"""ASCII rendering helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import format_cdf_probes, format_series, format_table, ms
+
+
+def test_format_table_alignment():
+    out = format_table(["name", "value"], [("a", 1), ("bbbb", 22.5)])
+    lines = out.splitlines()
+    assert lines[0].startswith("name")
+    assert set(lines[1]) <= {"-", " "}
+    assert len(lines) == 4
+    widths = {len(l) for l in lines}
+    assert len(widths) == 1  # all rows padded to the same width
+
+
+def test_format_table_title():
+    out = format_table(["a"], [(1,)], title="hello")
+    assert out.splitlines()[0] == "hello"
+
+
+def test_format_table_float_formatting():
+    out = format_table(["x"], [(0.00012345,), (123456.7,), (1.5,)])
+    assert "0.000123" in out
+    assert "1.23e+05" in out
+    assert "1.5" in out
+
+
+def test_format_cdf_probes_columns():
+    series = {"cfs": np.arange(1000.0) * 1000, "sfs": np.arange(1000.0) * 500}
+    out = format_cdf_probes(series, probes=(50, 99))
+    lines = out.splitlines()
+    assert "p50" in lines[1] and "p99" in lines[1] and "mean" in lines[1]
+    assert any(l.startswith("cfs") for l in lines)
+    assert any(l.startswith("sfs") for l in lines)
+
+
+def test_format_series_downsamples():
+    ts = list(range(0, 100_000_000, 1_000_000))
+    vs = [float(i) for i in range(100)]
+    out = format_series(ts, vs, max_rows=10)
+    # header + separator + 10 rows
+    assert len(out.splitlines()) == 12
+
+
+def test_ms_helper():
+    assert ms(1500) == 1.5

@@ -1,0 +1,63 @@
+"""Seed-robustness: the headline shapes hold across random seeds, and
+every experiment's scaled config is genuinely smaller than paper scale."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from conftest import quick_run, small_workload
+from repro.experiments.registry import REGISTRY
+from repro.metrics.stats import improvement_summary
+from repro.sim.units import MS
+
+
+@pytest.mark.parametrize("seed", [11, 23, 47])
+def test_sfs_beats_cfs_median_across_seeds(seed):
+    wl = small_workload(n_requests=600, load=1.0, seed=seed)
+    cfs = quick_run(wl, "cfs")
+    sfs = quick_run(wl, "sfs")
+    assert np.median(sfs.turnarounds) < np.median(cfs.turnarounds)
+
+
+@pytest.mark.parametrize("seed", [11, 23, 47])
+def test_improvement_fraction_stable_across_seeds(seed):
+    wl = small_workload(n_requests=800, load=1.0, seed=seed)
+    cfs = quick_run(wl, "cfs")
+    sfs = quick_run(wl, "sfs")
+    s = improvement_summary(cfs.turnarounds, sfs.turnarounds)
+    # the 83%-improved decomposition is a distributional property, so
+    # it should not swing wildly with the seed at fixed scale
+    assert 0.5 < s["fraction_improved"] < 0.98
+    assert s["mean_slowdown_rest"] < 2.5
+
+
+@pytest.mark.parametrize("seed", [11, 23])
+def test_srtf_dominates_cfs_across_seeds(seed):
+    wl = small_workload(n_requests=500, load=1.0, seed=seed)
+    cfs = quick_run(wl, "cfs")
+    srtf = quick_run(wl, "srtf")
+    assert srtf.turnarounds.mean() < cfs.turnarounds.mean()
+
+
+def test_scaled_configs_are_smaller_than_paper():
+    for exp_id, entry in REGISTRY.items():
+        paper = entry.module.Config()
+        scaled = entry.module.Config.scaled()
+        for f in dataclasses.fields(paper):
+            if f.name in ("n_requests", "n_apps"):
+                assert getattr(scaled, f.name) <= getattr(paper, f.name), exp_id
+
+
+def test_scaled_configs_are_frozen():
+    for exp_id, entry in REGISTRY.items():
+        cfg = entry.module.Config.scaled()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.__class__.__dataclass_fields__  # attribute access is fine
+            object.__setattr__  # noqa: B018
+            cfg.n_requests = 1  # type: ignore[misc]
+
+
+def test_registry_titles_unique():
+    titles = [e.title for e in REGISTRY.values()]
+    assert len(set(titles)) == len(titles)

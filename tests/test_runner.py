@@ -1,0 +1,81 @@
+"""The shared experiment driver."""
+
+import numpy as np
+import pytest
+
+from conftest import small_workload
+from repro.experiments.runner import RunConfig, run_many, run_workload
+from repro.machine.base import MachineParams
+
+
+def test_all_schedulers_run():
+    wl = small_workload(n_requests=150, load=0.8)
+    for sched in ("cfs", "fifo", "rr", "sfs", "srtf", "ideal"):
+        res = run_workload(wl, RunConfig(scheduler=sched,
+                                         machine=MachineParams(n_cores=8)))
+        assert len(res.records) == 150
+        assert res.scheduler == sched
+
+
+def test_invalid_config():
+    with pytest.raises(ValueError):
+        RunConfig(scheduler="bogus")
+    with pytest.raises(ValueError):
+        RunConfig(engine="bogus")
+    with pytest.raises(ValueError):
+        RunConfig(notify_latency=-1)
+
+
+def test_run_many_is_paired():
+    wl = small_workload(n_requests=200, load=0.9)
+    base = RunConfig(machine=MachineParams(n_cores=8))
+    runs = run_many(wl, base, ("cfs", "sfs"))
+    # same request ids in the same order: paired comparison is valid
+    assert [r.req_id for r in runs["cfs"].records] == [
+        r.req_id for r in runs["sfs"].records
+    ]
+    assert np.array_equal(
+        runs["cfs"].array("cpu_demand"), runs["sfs"].array("cpu_demand")
+    )
+
+
+def test_sfs_extras_present_only_for_sfs():
+    wl = small_workload(n_requests=100, load=0.8)
+    base = RunConfig(machine=MachineParams(n_cores=8))
+    cfs = run_workload(wl, base)
+    sfs = run_workload(wl, base.with_scheduler("sfs"))
+    assert cfs.sfs_stats is None and cfs.slice_timeline is None
+    assert sfs.sfs_stats is not None
+    assert sfs.slice_timeline
+    assert sfs.queue_delay_samples
+
+
+def test_notify_latency_zero_supported():
+    wl = small_workload(n_requests=100, load=0.8)
+    res = run_workload(
+        wl,
+        RunConfig(scheduler="sfs", machine=MachineParams(n_cores=8),
+                  notify_latency=0),
+    )
+    assert res.sfs_stats.submitted == 100
+
+
+def test_runs_are_deterministic():
+    wl = small_workload(n_requests=150, load=1.0)
+    cfg = RunConfig(scheduler="sfs", machine=MachineParams(n_cores=8))
+    a = run_workload(wl, cfg)
+    b = run_workload(wl, cfg)
+    assert np.array_equal(a.turnarounds, b.turnarounds)
+    assert np.array_equal(a.rtes, b.rtes)
+
+
+def test_utilization_tracks_offered_load():
+    wl = small_workload(n_requests=400, load=0.7, seed=3)
+    res = run_workload(wl, RunConfig(machine=MachineParams(n_cores=8)))
+    assert res.utilization == pytest.approx(0.7, abs=0.12)
+
+
+def test_meta_propagated_from_workload():
+    wl = small_workload(n_requests=50, load=0.5)
+    res = run_workload(wl, RunConfig(machine=MachineParams(n_cores=8)))
+    assert res.meta.get("generator") == "FaaSBench"

@@ -1,0 +1,267 @@
+"""Behavioural tests of the SFS scheduler (Fig 4's flow, cases 4.1-4.4)."""
+
+import numpy as np
+import pytest
+
+from conftest import make_cpu_task, make_io_task
+from repro.core.config import SFSConfig
+from repro.core.sfs import SFS
+from repro.machine.base import MachineParams
+from repro.machine.discrete import DiscreteMachine
+from repro.machine.fluid import FluidMachine
+from repro.sim.engine import Simulator
+from repro.sim.task import SchedPolicy, TaskState
+from repro.sim.units import MS, SEC
+
+ENGINES = [DiscreteMachine, FluidMachine]
+
+
+def setup(engine_cls, cores=2, cfg=None):
+    sim = Simulator()
+    m = engine_cls(sim, MachineParams(n_cores=cores))
+    sfs = SFS(m, cfg or SFSConfig())
+    return sim, m, sfs
+
+
+def submit(sim, m, sfs, task, at=0):
+    def go():
+        m.spawn(task)
+        sfs.submit(task)
+
+    sim.schedule_at(at, go)
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES)
+def test_short_function_completes_in_filter(engine_cls):
+    """4.1: a function shorter than S runs to completion unpreempted."""
+    sim, m, sfs = setup(engine_cls, cores=1, cfg=SFSConfig(initial_slice=100 * MS))
+    t = make_cpu_task(30 * MS)
+    submit(sim, m, sfs, t)
+    sim.run()
+    assert t.finished
+    assert t.turnaround == 30 * MS
+    assert sfs.stats.completed_in_filter == 1
+    assert sfs.stats.demoted_slice == 0
+    assert t.policy is SchedPolicy.FIFO  # stayed promoted until exit
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES)
+def test_long_function_demoted_on_slice_expiry(engine_cls):
+    """4.2: a function outliving S is filtered out to CFS."""
+    sim, m, sfs = setup(engine_cls, cores=1, cfg=SFSConfig(initial_slice=50 * MS))
+    t = make_cpu_task(200 * MS)
+    submit(sim, m, sfs, t)
+    sim.run()
+    assert t.finished
+    assert sfs.stats.demoted_slice == 1
+    assert t.policy is SchedPolicy.CFS
+    assert getattr(t, "_sfs_demoted", False)
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES)
+def test_filter_prioritizes_short_over_demoted_long(engine_cls):
+    sim, m, sfs = setup(engine_cls, cores=1, cfg=SFSConfig(initial_slice=50 * MS))
+    long_ = make_cpu_task(1 * SEC)
+    submit(sim, m, sfs, long_, at=0)
+    shorts = [make_cpu_task(10 * MS) for _ in range(5)]
+    for i, s in enumerate(shorts):
+        submit(sim, m, sfs, s, at=(100 + 20 * i) * MS)
+    sim.run()
+    # every short function beats the demoted long one
+    assert all(s.finish_time < long_.finish_time for s in shorts)
+    # and each short one ran at (near) full speed once scheduled
+    for s in shorts:
+        assert s.turnaround <= 3 * s.cpu_demand
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES)
+def test_workers_bound_concurrent_filter_tasks(engine_cls):
+    sim, m, sfs = setup(engine_cls, cores=2, cfg=SFSConfig(initial_slice=1 * SEC))
+    tasks = [make_cpu_task(100 * MS) for _ in range(6)]
+    for t in tasks:
+        submit(sim, m, sfs, t)
+
+    def check():
+        n_fifo = sum(1 for t in tasks if t.policy is SchedPolicy.FIFO and not t.finished)
+        assert n_fifo <= 2  # never more FILTER tasks than workers
+
+    for k in range(1, 12):
+        sim.schedule_at(k * 25 * MS, check)
+    sim.run()
+    assert all(t.finished for t in tasks)
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES)
+def test_io_block_detected_and_requeued(engine_cls):
+    """4.3: polling catches the running->sleeping transition."""
+    sim, m, sfs = setup(
+        engine_cls, cores=1,
+        cfg=SFSConfig(initial_slice=100 * MS, poll_interval=4 * MS),
+    )
+    # CPU 20ms, then 50ms I/O, then CPU 20ms
+    from repro.sim.task import Burst, BurstKind, Task
+
+    t = Task(bursts=[
+        Burst(BurstKind.CPU, 20 * MS),
+        Burst(BurstKind.IO, 50 * MS),
+        Burst(BurstKind.CPU, 20 * MS),
+    ])
+    submit(sim, m, sfs, t)
+    sim.run()
+    assert t.finished
+    assert sfs.stats.demoted_io == 1
+    assert sfs.stats.resubmitted == 1
+    # unused slice preserved: second FILTER session had budget left
+    assert sfs.stats.demoted_slice == 0
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES)
+def test_leading_io_task_watched_not_promoted(engine_cls):
+    sim, m, sfs = setup(engine_cls, cores=1)
+    t = make_io_task(30 * MS, 20 * MS)
+    submit(sim, m, sfs, t)
+    sim.run()
+    assert t.finished
+    # it was found blocked at assignment, watched, then resubmitted
+    assert sfs.stats.resubmitted == 1
+
+
+def test_io_oblivious_wastes_slice():
+    """Fig 11's bad case: no polling -> the sleeper's slice burns on the
+    clock and it is filtered out to CFS with nothing left."""
+    cfg_aware = SFSConfig(initial_slice=60 * MS, io_aware=True, adaptive=False)
+    cfg_blind = SFSConfig(initial_slice=60 * MS, io_aware=False, adaptive=False)
+
+    def run(cfg):
+        sim, m, sfs = setup(FluidMachine, cores=1, cfg=cfg)
+        # the I/O function outsleeps its slice in the blind configuration
+        io_task = make_io_task(80 * MS, 10 * MS)
+        crowd = [make_cpu_task(200 * MS) for _ in range(5)]
+        submit(sim, m, sfs, io_task, at=0)
+        for i, c in enumerate(crowd):
+            submit(sim, m, sfs, c, at=(1 + i) * MS)
+        sim.run()
+        return io_task.finish_time, sfs.stats
+
+    # aware: block detected within 4 ms, slice budget preserved, the
+    # wake re-enqueues into FILTER and runs at RT priority.
+    # blind: the slice expires while asleep; the function wakes into a
+    # CFS pool crowded with demoted 200 ms tasks.
+    t_aware, s_aware = run(cfg_aware)
+    t_blind, s_blind = run(cfg_blind)
+    assert t_aware < t_blind
+    # aware SFS spots the leading I/O, watches, and resubmits on wake
+    assert s_aware.resubmitted == 1
+    # blind SFS cannot see the block: it burns the slice on the sleeper
+    assert s_blind.resubmitted == 0 and s_blind.demoted_io == 0
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES)
+def test_overload_bypasses_filter(engine_cls):
+    """4.4: queue delay >= O*S sends requests straight to CFS."""
+    cfg = SFSConfig(initial_slice=10 * MS, overload_factor=3.0, adaptive=False)
+    sim, m, sfs = setup(engine_cls, cores=1, cfg=cfg)
+    # a wall of simultaneous arrivals: the backlog exceeds 30 ms quickly
+    tasks = [make_cpu_task(20 * MS) for _ in range(30)]
+    for t in tasks:
+        submit(sim, m, sfs, t, at=0)
+    sim.run()
+    assert sfs.stats.bypassed_overload > 0
+    assert all(t.finished for t in tasks)
+    bypassed = [t for t in tasks if getattr(t, "_sfs_bypassed", False)]
+    assert len(bypassed) == sfs.stats.bypassed_overload
+
+
+def test_overload_disabled_never_bypasses():
+    cfg = SFSConfig(initial_slice=10 * MS, overload_enabled=False, adaptive=False)
+    sim, m, sfs = setup(FluidMachine, cores=1, cfg=cfg)
+    tasks = [make_cpu_task(20 * MS) for _ in range(30)]
+    for t in tasks:
+        submit(sim, m, sfs, t, at=0)
+    sim.run()
+    assert sfs.stats.bypassed_overload == 0
+
+
+def test_request_finished_before_worker_reaches_it():
+    # tiny task on an idle machine completes in CFS before SFS sees it
+    sim = Simulator()
+    m = FluidMachine(sim, MachineParams(n_cores=2))
+    sfs = SFS(m, SFSConfig())
+    t = make_cpu_task(1 * MS)
+
+    def go():
+        m.spawn(t)
+        sim.schedule(5 * MS, sfs.submit, t)  # notify arrives late
+
+    sim.schedule_at(0, go)
+    sim.run()
+    assert t.finished
+    assert sfs.stats.skipped_finished == 1
+    assert sfs.stats.promoted == 0
+
+
+def test_slice_budget_carried_across_io():
+    """§V-D: after an I/O wake the function gets the *rest* of its slice."""
+    from repro.sim.task import Burst, BurstKind, Task
+
+    cfg = SFSConfig(initial_slice=50 * MS, poll_interval=1 * MS)
+    sim, m, sfs = setup(FluidMachine, cores=1, cfg=cfg)
+    t = Task(bursts=[
+        Burst(BurstKind.CPU, 30 * MS),
+        Burst(BurstKind.IO, 20 * MS),
+        Burst(BurstKind.CPU, 40 * MS),   # 30+40 > 50: must be demoted
+    ])
+    submit(sim, m, sfs, t)
+    sim.run()
+    assert t.finished
+    assert sfs.stats.demoted_io == 1
+    assert sfs.stats.demoted_slice == 1  # second session exhausts the budget
+
+
+def test_adaptive_slice_follows_arrivals():
+    cfg = SFSConfig(window=20)
+    sim, m, sfs = setup(FluidMachine, cores=4, cfg=cfg)
+    tasks = [make_cpu_task(5 * MS) for _ in range(60)]
+    for i, t in enumerate(tasks):
+        submit(sim, m, sfs, t, at=i * 10 * MS)
+    sim.run()
+    # windows complete at arrivals 21 and 41 (N IATs need N+1 arrivals)
+    assert sfs.monitor.recomputations == 2
+    # mean IAT 10 ms x 4 cores = 40 ms
+    assert sfs.monitor.slice == pytest.approx(40 * MS, rel=0.01)
+
+
+def test_per_worker_queue_mode_runs():
+    cfg = SFSConfig(per_worker_queues=True)
+    sim, m, sfs = setup(FluidMachine, cores=2, cfg=cfg)
+    tasks = [make_cpu_task(10 * MS) for _ in range(20)]
+    for i, t in enumerate(tasks):
+        submit(sim, m, sfs, t, at=i * MS)
+    sim.run()
+    assert all(t.finished for t in tasks)
+    assert len(sfs.delay_samples()) == 20
+    assert len({id(q) for q in sfs.queues}) == 2
+
+
+def test_stats_accounting_consistent():
+    sim, m, sfs = setup(FluidMachine, cores=2, cfg=SFSConfig(initial_slice=40 * MS))
+    tasks = [make_cpu_task((5 + 7 * i) * MS) for i in range(20)]
+    for i, t in enumerate(tasks):
+        submit(sim, m, sfs, t, at=i * 15 * MS)
+    sim.run()
+    s = sfs.stats
+    assert s.submitted == 20
+    # every promoted request ends in exactly one of the outcomes
+    assert s.promoted == s.completed_in_filter + s.demoted_slice + s.demoted_io
+    assert s.submitted == s.promoted + s.bypassed_overload + s.skipped_finished
+
+
+def test_busy_workers_tracks_assignments():
+    sim, m, sfs = setup(FluidMachine, cores=2, cfg=SFSConfig(initial_slice=1 * SEC))
+    assert sfs.busy_workers() == 0
+    t = make_cpu_task(100 * MS)
+    submit(sim, m, sfs, t)
+    sim.run(until=10 * MS)
+    assert sfs.busy_workers() == 1
+    sim.run()
+    assert sfs.busy_workers() == 0

@@ -1,0 +1,223 @@
+"""Unit tests for SFS's building blocks: config, queue, monitor,
+overload detector, overhead meter, worker state."""
+
+import pytest
+
+from repro.core.config import SFSConfig
+from repro.core.global_queue import GlobalQueue, QueueEntry
+from repro.core.monitor import SliceMonitor
+from repro.core.overhead import OverheadMeter
+from repro.core.overload import OverloadDetector
+from repro.core.worker import SFSWorker
+from repro.sim.engine import Simulator
+from repro.sim.task import cpu_task
+from repro.sim.units import MS, SEC
+
+
+# ----------------------------------------------------------------------
+# SFSConfig
+# ----------------------------------------------------------------------
+def test_config_defaults_match_paper():
+    cfg = SFSConfig()
+    assert cfg.window == 100          # N (§V-C)
+    assert cfg.overload_factor == 3.0  # O (§V-E)
+    assert cfg.poll_interval == 4 * MS  # §V-D
+
+
+@pytest.mark.parametrize(
+    "kw",
+    [
+        {"window": 0},
+        {"overload_factor": 0},
+        {"poll_interval": 0},
+        {"min_slice": 0},
+        {"min_slice": 200 * MS, "initial_slice": 100 * MS},
+        {"initial_slice": 20 * SEC},   # above max_slice
+        {"rt_priority": 0},
+        {"rt_priority": 100},
+    ],
+)
+def test_config_validation(kw):
+    with pytest.raises(ValueError):
+        SFSConfig(**kw)
+
+
+def test_clamp_slice():
+    cfg = SFSConfig(min_slice=10 * MS, initial_slice=50 * MS, max_slice=100 * MS)
+    assert cfg.clamp_slice(5 * MS) == 10 * MS
+    assert cfg.clamp_slice(55 * MS) == 55 * MS
+    assert cfg.clamp_slice(500 * MS) == 100 * MS
+
+
+# ----------------------------------------------------------------------
+# GlobalQueue
+# ----------------------------------------------------------------------
+def entry(at=0):
+    return QueueEntry(task=cpu_task(10), enqueue_ts=at, invoke_ts=at)
+
+
+def test_queue_fifo_order():
+    q = GlobalQueue()
+    es = [entry(i) for i in range(5)]
+    for e in es:
+        q.push(e)
+    assert [q.pop(100) for _ in range(5)] == es
+    assert q.pop(100) is None
+
+
+def test_queue_delay_samples():
+    q = GlobalQueue()
+    q.push(entry(at=10))
+    q.push(entry(at=20))
+    q.pop(50)
+    q.pop(55)
+    assert q.delay_samples == [(50, 40), (55, 35)]
+
+
+def test_queue_head_delay():
+    q = GlobalQueue()
+    assert q.head_delay(99) is None
+    q.push(entry(at=10))
+    assert q.head_delay(30) == 20
+
+
+def test_queue_counters():
+    q = GlobalQueue()
+    for i in range(4):
+        q.push(entry())
+    q.pop(0)
+    assert q.total_enqueued == 4
+    assert q.max_length == 4
+    assert len(q) == 3
+
+
+# ----------------------------------------------------------------------
+# SliceMonitor
+# ----------------------------------------------------------------------
+def test_monitor_initial_slice():
+    mon = SliceMonitor(SFSConfig(initial_slice=80 * MS), n_cores=4)
+    assert mon.slice == 80 * MS
+    assert mon.timeline == [(0, 80 * MS)]
+
+
+def test_monitor_recomputes_every_n():
+    cfg = SFSConfig(window=10)
+    mon = SliceMonitor(cfg, n_cores=4)
+    # arrivals every 5 ms -> mean IAT 5 ms -> S = 20 ms
+    for i in range(11):
+        mon.record_arrival(i * 5 * MS)
+    assert mon.recomputations == 1
+    assert mon.slice == 20 * MS
+
+
+def test_monitor_formula_s_equals_mean_iat_times_cores():
+    cfg = SFSConfig(window=4)
+    mon = SliceMonitor(cfg, n_cores=12)
+    times = [0, 3 * MS, 9 * MS, 10 * MS, 20 * MS]
+    for t in times:
+        mon.record_arrival(t)
+    mean_iat = (times[-1] - times[0]) / 4
+    assert mon.slice == round(mean_iat * 12)
+
+
+def test_monitor_clamps():
+    cfg = SFSConfig(window=2, min_slice=10 * MS, initial_slice=50 * MS,
+                    max_slice=100 * MS)
+    mon = SliceMonitor(cfg, n_cores=100)
+    for t in (0, 1 * SEC, 2 * SEC):  # huge IATs -> clamp to max
+        mon.record_arrival(t)
+    assert mon.slice == 100 * MS
+    mon2 = SliceMonitor(cfg, n_cores=1)
+    for t in (0, 1, 2):  # tiny IATs -> clamp to min
+        mon2.record_arrival(t)
+    assert mon2.slice == 10 * MS
+
+
+def test_monitor_non_adaptive_is_fixed():
+    cfg = SFSConfig(window=5, adaptive=False, initial_slice=70 * MS)
+    mon = SliceMonitor(cfg, n_cores=4)
+    for i in range(50):
+        mon.record_arrival(i * MS)
+    assert mon.slice == 70 * MS
+    assert mon.recomputations == 0
+
+
+def test_monitor_timeline_grows():
+    cfg = SFSConfig(window=5)
+    mon = SliceMonitor(cfg, n_cores=2)
+    for i in range(26):
+        mon.record_arrival(i * 2 * MS)
+    assert mon.recomputations == 5
+    assert len(mon.timeline) == 6  # initial + 5
+
+
+def test_monitor_mean_iat():
+    mon = SliceMonitor(SFSConfig(window=10), n_cores=1)
+    assert mon.mean_iat() == float("inf")
+    mon.record_arrival(0)
+    mon.record_arrival(10 * MS)
+    assert mon.mean_iat() == 10 * MS
+
+
+# ----------------------------------------------------------------------
+# OverloadDetector
+# ----------------------------------------------------------------------
+def test_overload_threshold():
+    det = OverloadDetector(SFSConfig(overload_factor=3.0))
+    s = 100 * MS
+    assert not det.should_bypass(0, 299 * MS, s)
+    assert det.should_bypass(0, 300 * MS, s)
+    assert det.bypassed == 1
+    assert det.events == [(0, 300 * MS, s)]
+
+
+def test_overload_disabled():
+    det = OverloadDetector(SFSConfig(overload_enabled=False))
+    assert not det.should_bypass(0, 10 * SEC, 1 * MS)
+    assert det.bypassed == 0
+
+
+# ----------------------------------------------------------------------
+# OverheadMeter
+# ----------------------------------------------------------------------
+def test_overhead_bucketing():
+    m = OverheadMeter(window=1 * SEC)
+    m.record_poll(0, 100)
+    m.record_poll(int(0.5 * SEC), 100)
+    m.record_sched_op(int(1.5 * SEC), 300)
+    usage = m.per_window_usage(2 * SEC)
+    assert len(usage) == 2
+    assert usage[0] == pytest.approx(200 / SEC)
+    assert usage[1] == pytest.approx(300 / SEC)
+
+
+def test_overhead_summary():
+    m = OverheadMeter(window=1 * SEC)
+    for t in range(4):
+        m.record_poll(t * SEC, 1000)
+    m.record_sched_op(0, 1000)
+    s = m.summary(4 * SEC)
+    assert s.poll_fraction == pytest.approx(0.8)
+    assert s.total_cpu_us == 5000
+    assert s.max >= s.average >= s.min
+    assert s.relative_to(10) == pytest.approx(s.average / 10)
+
+
+def test_overhead_invalid_window():
+    with pytest.raises(ValueError):
+        OverheadMeter(window=0)
+
+
+# ----------------------------------------------------------------------
+# SFSWorker
+# ----------------------------------------------------------------------
+def test_worker_clear_cancels_timers():
+    sim = Simulator()
+    w = SFSWorker(0)
+    assert w.idle
+    w.entry = entry()
+    w.slice_handle = sim.schedule(10, lambda: None)
+    w.poll_handle = sim.schedule(10, lambda: None)
+    w.clear()
+    assert w.idle
+    assert sim.pending == 0

@@ -1,0 +1,73 @@
+"""The stretch-based SLO metric (paper §I proposal)."""
+
+import numpy as np
+import pytest
+
+from conftest import quick_run, small_workload
+from repro.metrics.slo import DEFAULT_SLOS, SLO, max_stretch_bound, slo_report, stretch
+
+
+def records(load=1.0, sched="cfs"):
+    wl = small_workload(n_requests=300, load=load, seed=9)
+    return quick_run(wl, sched).records
+
+
+def test_stretch_at_least_one():
+    s = stretch(records())
+    assert (s >= 1.0 - 1e-9).all()
+
+
+def test_ideal_run_has_unit_stretch():
+    s = stretch(records(sched="ideal"))
+    assert np.allclose(s, 1.0, atol=1e-6)
+
+
+def test_slo_validation():
+    with pytest.raises(ValueError):
+        SLO(0, 2.0)
+    with pytest.raises(ValueError):
+        SLO(1.5, 2.0)
+    with pytest.raises(ValueError):
+        SLO(0.9, 0.5)  # stretch < 1 is unattainable by definition
+
+
+def test_attainment_bounds():
+    recs = records()
+    for slo in DEFAULT_SLOS:
+        att = slo.attainment(recs)
+        assert 0.0 <= att <= 1.0
+        assert slo.satisfied(recs) == (att >= slo.quantile)
+        assert slo.headroom(recs) == pytest.approx(att - slo.quantile)
+
+
+def test_looser_bound_attains_more():
+    recs = records()
+    tight = SLO(0.9, 1.5).attainment(recs)
+    loose = SLO(0.9, 10.0).attainment(recs)
+    assert loose >= tight
+
+
+def test_sfs_attains_more_than_cfs_for_short_bounds():
+    cfs = records(sched="cfs")
+    sfs = records(sched="sfs")
+    slo = SLO(0.9, 2.0)
+    assert slo.attainment(sfs) > slo.attainment(cfs)
+
+
+def test_max_stretch_bound_is_the_quantile():
+    recs = records()
+    b = max_stretch_bound(recs, 0.95)
+    assert SLO(0.95, max(b, 1.0)).attainment(recs) >= 0.95 - 1e-9
+    with pytest.raises(ValueError):
+        max_stretch_bound(recs, 0)
+
+
+def test_slo_report_rows():
+    wl = small_workload(n_requests=200, load=0.8)
+    runs = {"cfs": quick_run(wl, "cfs"), "sfs": quick_run(wl, "sfs")}
+    rows = slo_report(runs)
+    assert len(rows) == len(DEFAULT_SLOS) * 2
+    for _name, sched, att, met in rows:
+        assert sched in ("cfs", "sfs")
+        assert isinstance(met, (bool, np.bool_))
+        assert 0 <= att <= 1

@@ -1,0 +1,77 @@
+"""Workload/RequestSpec containers."""
+
+import pytest
+
+from repro.sim.task import Burst, BurstKind, SchedPolicy
+from repro.sim.units import MS
+from repro.workload.spec import RequestSpec, Workload
+
+
+def spec(req_id=0, arrival=0, cpu=10 * MS, io=0, app="fib"):
+    bursts = []
+    if io:
+        bursts.append(Burst(BurstKind.IO, io))
+    bursts.append(Burst(BurstKind.CPU, cpu))
+    return RequestSpec(req_id=req_id, arrival=arrival, bursts=tuple(bursts),
+                       name=f"t{req_id}", app=app)
+
+
+def test_spec_demands():
+    s = spec(cpu=30 * MS, io=20 * MS)
+    assert s.cpu_demand == 30 * MS
+    assert s.io_demand == 20 * MS
+    assert s.ideal_duration == 50 * MS
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        RequestSpec(req_id=0, arrival=-1, bursts=(Burst(BurstKind.CPU, 1),))
+    with pytest.raises(ValueError):
+        RequestSpec(req_id=0, arrival=0, bursts=())
+
+
+def test_make_task_fresh_instances():
+    s = spec()
+    t1 = s.make_task()
+    t2 = s.make_task(policy=SchedPolicy.FIFO)
+    assert t1 is not t2
+    assert t1.policy is SchedPolicy.CFS
+    assert t2.policy is SchedPolicy.FIFO
+    assert t1.cpu_demand == s.cpu_demand
+
+
+def test_workload_sorts_by_arrival():
+    wl = Workload([spec(0, 300), spec(1, 100), spec(2, 200)])
+    assert [r.arrival for r in wl] == [100, 200, 300]
+
+
+def test_workload_len_iter():
+    wl = Workload([spec(i, i * 10) for i in range(5)])
+    assert len(wl) == 5
+    assert [r.req_id for r in wl] == list(range(5))
+
+
+def test_offered_load_formula():
+    # 11 requests of 10ms CPU arriving 10ms apart on 1 core: rho = 1
+    wl = Workload([spec(i, (i + 1) * 10 * MS, cpu=10 * MS) for i in range(11)])
+    assert wl.offered_load(1) == pytest.approx(1.1, rel=0.01)
+    assert wl.offered_load(2) == pytest.approx(0.55, rel=0.01)
+
+
+def test_mean_iat():
+    wl = Workload([spec(i, i * 5 * MS) for i in range(11)])
+    assert wl.mean_iat() == 5 * MS
+
+
+def test_filter_preserves_meta():
+    wl = Workload([spec(i, i, app="fib" if i % 2 else "md") for i in range(10)],
+                  meta={"k": "v"})
+    sub = wl.filter(lambda r: r.app == "md")
+    assert len(sub) == 5
+    assert sub.meta == {"k": "v"}
+
+
+def test_makespan_lower_bound():
+    wl = Workload([spec(0, 100), spec(1, 900)])
+    assert wl.makespan_lower_bound == 900
+    assert Workload([]).makespan_lower_bound == 0

@@ -1,0 +1,55 @@
+"""Workload save/load round-tripping."""
+
+import numpy as np
+import pytest
+
+from conftest import quick_run, small_workload
+from repro.sim.task import Burst, BurstKind
+from repro.workload.io import load_workload, pack_bursts, save_workload, unpack_bursts
+
+
+def test_pack_unpack_roundtrip():
+    bursts = (
+        Burst(BurstKind.IO, 1000),
+        Burst(BurstKind.CPU, 25_000),
+        Burst(BurstKind.IO, 7),
+    )
+    assert unpack_bursts(pack_bursts(bursts)) == bursts
+
+
+def test_unpack_validation():
+    with pytest.raises(ValueError):
+        unpack_bursts("")
+    with pytest.raises(ValueError):
+        unpack_bursts("gpu:100")
+
+
+def test_workload_roundtrip(tmp_path):
+    wl = small_workload(n_requests=150, load=0.8, io_fraction=0.3)
+    path = str(tmp_path / "wl.csv")
+    save_workload(wl, path)
+    back = load_workload(path)
+    assert len(back) == len(wl)
+    assert back.meta.get("generator") == "FaaSBench"
+    for a, b in zip(wl, back):
+        assert (a.req_id, a.arrival, a.name, a.app) == (
+            b.req_id, b.arrival, b.name, b.app
+        )
+        assert a.bursts == b.bursts
+
+
+def test_replayed_workload_gives_identical_results(tmp_path):
+    wl = small_workload(n_requests=200, load=1.0, seed=6)
+    path = str(tmp_path / "wl.csv")
+    save_workload(wl, path)
+    back = load_workload(path)
+    a = quick_run(wl, "sfs")
+    b = quick_run(back, "sfs")
+    assert np.array_equal(a.turnarounds, b.turnarounds)
+
+
+def test_load_empty_rejected(tmp_path):
+    path = tmp_path / "empty.csv"
+    path.write_text("# repro-workload v1\nreq_id,arrival_us,name,app,bursts\n")
+    with pytest.raises(ValueError):
+        load_workload(str(path))
