@@ -1,0 +1,93 @@
+"""Tracing overhead guard.
+
+The design promise of ``repro.trace`` is *zero overhead when disabled*:
+every instrumented call site is one attribute load plus one predictable
+branch on ``NullRecorder.enabled``.  These benchmarks pin that promise
+down with the same 400-task/4-core workload ``bench_micro_engines``
+uses, three ways per engine:
+
+* ``default``  — no recorder passed (the shared ``NULL_RECORDER``);
+* ``enabled``  — a live :class:`repro.trace.TraceRecorder`, to show
+  what recording actually costs when you opt in.
+
+The null-vs-enabled ratio is recorded in ``benchmark.extra_info`` so
+the JSON artifact documents the cost of opting in, and the disabled
+path asserts the stream stayed empty (nothing recorded by accident).
+"""
+
+import time
+
+import numpy as np
+
+from repro.machine.base import MachineParams
+from repro.machine.discrete import DiscreteMachine
+from repro.machine.fluid import FluidMachine
+from repro.sim.engine import Simulator
+from repro.sim.task import Burst, BurstKind, Task
+from repro.sim.units import MS
+from repro.trace import NULL_RECORDER, TraceRecorder
+
+
+def _workload_tasks(n=400, seed=1):
+    rng = np.random.default_rng(seed)
+    out = []
+    at = 0
+    for _ in range(n):
+        at += int(rng.exponential(8 * MS))
+        dur = int(rng.uniform(5 * MS, 60 * MS))
+        out.append((at, dur))
+    return out
+
+
+def _drive(machine_cls, recorder=None):
+    specs = _workload_tasks()
+
+    def run():
+        sim = Simulator(trace=recorder)
+        m = machine_cls(sim, MachineParams(n_cores=4))
+        tasks = []
+        for at, dur in specs:
+            task = Task(bursts=[Burst(BurstKind.CPU, dur)])
+            tasks.append(task)
+            sim.schedule_at(at, m.spawn, task)
+        sim.run()
+        assert all(t.finished for t in tasks)
+        return sim.events_executed
+
+    return run
+
+
+def _best_of(fn, rounds=5):
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _bench_engine(benchmark, machine_cls):
+    null_run = _drive(machine_cls)  # default: shared NULL_RECORDER
+
+    enabled = TraceRecorder()
+    enabled_run = _drive(machine_cls, recorder=enabled)
+
+    null_s = _best_of(null_run)
+    enabled_s = _best_of(enabled_run)
+    assert len(enabled) > 0  # the live recorder actually recorded
+    assert len(NULL_RECORDER) == 0  # and the null one never does
+
+    benchmark.extra_info["null_best_s"] = round(null_s, 6)
+    benchmark.extra_info["enabled_best_s"] = round(enabled_s, 6)
+    benchmark.extra_info["enabled_over_null_ratio"] = round(
+        enabled_s / null_s, 3
+    )
+    benchmark(null_run)
+
+
+def test_trace_overhead_discrete(benchmark):
+    _bench_engine(benchmark, DiscreteMachine)
+
+
+def test_trace_overhead_fluid(benchmark):
+    _bench_engine(benchmark, FluidMachine)

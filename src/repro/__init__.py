@@ -32,6 +32,7 @@ from repro.faas import OpenLambdaConfig, run_openlambda
 from repro.machine import DiscreteMachine, FluidMachine, MachineParams
 from repro.metrics import RequestRecord, RunResult
 from repro.sim import Simulator, Task
+from repro.trace import RunManifest, TraceRecorder
 from repro.workload import FaaSBench, FaaSBenchConfig, Workload
 
 __version__ = "1.0.0"
@@ -54,5 +55,7 @@ __all__ = [
     "Workload",
     "RunResult",
     "RequestRecord",
+    "TraceRecorder",
+    "RunManifest",
     "__version__",
 ]

@@ -1,20 +1,26 @@
 """Command-line interface.
 
-Three subcommands cover the common flows without writing Python::
+The subcommands cover the common flows without writing Python::
 
     python -m repro run --scheduler sfs --load 1.0 --requests 5000
     python -m repro compare --schedulers cfs sfs srtf --load 0.9
+    python -m repro trace out.json --scheduler sfs --requests 500
     python -m repro experiment fig6 headline ext-eevdf
     python -m repro list
 
 ``run`` and ``compare`` generate a FaaSBench workload and print the
-duration/RTE summary; ``experiment`` executes registry entries at their
-scaled configurations and prints the rendered paper artifact.
+duration/RTE summary; both accept ``--trace PATH`` to also capture the
+structured event stream (Chrome trace-event JSON for ``.json`` paths —
+open in ui.perfetto.dev — or JSONL for ``.jsonl``).  ``trace`` is the
+capture-first spelling of ``run``; ``experiment`` executes registry
+entries at their scaled configurations and prints the rendered paper
+artifact.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
@@ -45,6 +51,11 @@ def _add_workload_args(p: argparse.ArgumentParser) -> None:
                    help="replay a saved workload instead of generating one")
     p.add_argument("--save-workload", metavar="PATH",
                    help="save the generated workload for later replay")
+    p.add_argument("--trace", metavar="PATH", dest="trace",
+                   help="record a structured trace (.json = Chrome "
+                        "trace-event for Perfetto, .jsonl = JSON lines)")
+    p.add_argument("--gauge-interval", type=int, default=10_000,
+                   help="trace gauge sampling period in us")
 
 
 def _workload(args):
@@ -68,15 +79,40 @@ def _workload(args):
     return wl
 
 
-def _run(args, scheduler: str):
+def _trace_path_for(base: str, scheduler: str, multi: bool) -> str:
+    """Per-scheduler artifact path: ``out.json`` -> ``out-sfs.json``."""
+    if not multi:
+        return base
+    root, dot, ext = base.rpartition(".")
+    if not dot:
+        return f"{base}-{scheduler}"
+    return f"{root}-{scheduler}.{ext}"
+
+
+def _run(args, scheduler: str, trace_path: Optional[str] = None):
+    from repro.trace import TraceRecorder, write_trace
+
     machine = MachineParams(n_cores=args.cores, ctx_switch_cost=args.ctx_cost)
     cfg = RunConfig(scheduler=scheduler, engine=args.engine, machine=machine)
-    return run_workload(_workload(args), cfg)
+    recorder = None
+    if trace_path:
+        parent = os.path.dirname(trace_path)
+        if parent and not os.path.isdir(parent):
+            # fail before the (possibly long) run, not at write time
+            print(f"error: trace directory does not exist: {parent}",
+                  file=sys.stderr)
+            raise SystemExit(2)
+        recorder = TraceRecorder(gauge_interval=args.gauge_interval)
+    res = run_workload(_workload(args), cfg, trace=recorder)
+    if trace_path:
+        write_trace(trace_path, recorder, res.manifest)
+        print(f"wrote {len(recorder)} trace events to {trace_path}")
+    return res
 
 
 def cmd_run(args) -> int:
     t0 = time.time()
-    res = _run(args, args.scheduler)
+    res = _run(args, args.scheduler, trace_path=args.trace)
     t = res.turnarounds
     rows = [
         ("requests", len(res.records)),
@@ -102,7 +138,13 @@ def cmd_run(args) -> int:
 
 
 def cmd_compare(args) -> int:
-    runs = {s: _run(args, s) for s in args.schedulers}
+    multi = len(args.schedulers) > 1
+    runs = {
+        s: _run(args, s,
+                trace_path=_trace_path_for(args.trace, s, multi)
+                if args.trace else None)
+        for s in args.schedulers
+    }
     print(format_cdf_probes(
         {name: r.turnarounds for name, r in runs.items()},
         title=f"execution duration (ms), load {args.load:.0%}, "
@@ -116,6 +158,35 @@ def cmd_compare(args) -> int:
             f"x{s['mean_slowdown_rest']:.2f} slower"
         )
     return 0
+
+
+def cmd_trace(args) -> int:
+    """Run one scheduler with tracing on and write the artifact."""
+    args.trace = args.output
+    rc = cmd_run(args)
+    if rc == 0 and args.summary:
+        import json
+
+        with open(args.output) as fh:
+            if args.output.endswith(".jsonl"):
+                kinds = {}
+                for line in fh:
+                    rec = json.loads(line)
+                    if rec.get("type") == "event":
+                        k = rec["kind"]
+                        kinds[k] = kinds.get(k, 0) + 1
+            else:
+                doc = json.load(fh)
+                kinds = {}
+                phase_names = {"C": "counter", "M": "metadata"}
+                for ev in doc["traceEvents"]:
+                    cat = ev.get("cat") or phase_names.get(
+                        ev.get("ph"), ev.get("ph", "?")
+                    )
+                    kinds[cat] = kinds.get(cat, 0) + 1
+        rows = sorted(kinds.items())
+        print(format_table(["kind", "events"], rows, title="trace summary"))
+    return rc
 
 
 def cmd_experiment(args) -> int:
@@ -162,6 +233,15 @@ def build_parser() -> argparse.ArgumentParser:
                        default=["cfs", "sfs", "srtf"])
     _add_workload_args(p_cmp)
     p_cmp.set_defaults(func=cmd_compare)
+
+    p_tr = sub.add_parser("trace", help="run once with tracing and export")
+    p_tr.add_argument("output", metavar="PATH",
+                      help="trace artifact (.json = Chrome, .jsonl = lines)")
+    p_tr.add_argument("--scheduler", choices=SCHEDULERS, default="sfs")
+    p_tr.add_argument("--summary", action="store_true",
+                      help="print per-kind event counts after writing")
+    _add_workload_args(p_tr)
+    p_tr.set_defaults(func=cmd_trace)
 
     p_exp = sub.add_parser("experiment", help="run paper artifacts")
     p_exp.add_argument("ids", nargs="+")

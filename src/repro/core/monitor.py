@@ -17,14 +17,17 @@ from collections import deque
 from typing import Deque, List, Tuple
 
 from repro.core.config import SFSConfig
+from repro.trace import events as tev
+from repro.trace.recorder import NULL_RECORDER
 
 
 class SliceMonitor:
     """Sliding-window IAT tracker producing the global time slice S."""
 
-    def __init__(self, config: SFSConfig, n_cores: int):
+    def __init__(self, config: SFSConfig, n_cores: int, trace=None):
         self.config = config
         self.n_cores = n_cores
+        self._trace = trace if trace is not None else NULL_RECORDER
         self._slice: int = config.initial_slice
         self._arrivals: Deque[int] = deque(maxlen=config.window + 1)
         self._since_update = 0
@@ -61,6 +64,8 @@ class SliceMonitor:
         self._slice = s
         self.recomputations += 1
         self.timeline.append((now, s))
+        if self._trace.enabled:
+            self._trace.emit(now, tev.SFS_SLICE, args=(s,))
 
     def mean_iat(self) -> float:
         """Mean IAT currently in the window (us); inf with <2 samples."""

@@ -100,13 +100,13 @@ class PredictiveSFS(SFS):
 
     def _promote(self, worker, entry: QueueEntry) -> None:
         task = entry.task
-        if getattr(task, "_sfs_slice_left", None) is None:
+        if task.sfs_slice_left is None:
             predicted = self.predictor.predict(task.name or task.app)
             slice_left = self.config.clamp_slice(
                 int(predicted * self.slice_headroom)
             )
-            task._sfs_slice_left = slice_left  # type: ignore[attr-defined]
-            task._sfs_slice_granted = slice_left  # type: ignore[attr-defined]
+            task.sfs_slice_left = slice_left
+            task.sfs_slice_granted = slice_left
         super()._promote(worker, entry)
 
     def _observe_finish(self, task: Task) -> None:

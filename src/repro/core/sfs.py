@@ -20,6 +20,7 @@ from repro.core.overload import OverloadDetector
 from repro.core.worker import SFSWorker
 from repro.machine.base import MachineBase
 from repro.sim.task import SchedPolicy, Task, TaskState
+from repro.trace import events as tev
 
 
 @dataclass
@@ -76,7 +77,10 @@ class SFS:
             self.queue = GlobalQueue()
             self.queues = [self.queue] * n_workers
         self._rr_submit = 0
-        self.monitor = SliceMonitor(self.config, machine.n_cores)
+        # structured tracing: cached once; NULL_RECORDER when disabled
+        self._trace = self.sim.trace
+        self._trace_on = self._trace.enabled
+        self.monitor = SliceMonitor(self.config, machine.n_cores, trace=self._trace)
         self.overload = OverloadDetector(self.config)
         self.overhead = OverheadMeter()
         self.stats = SFSStats()
@@ -95,6 +99,8 @@ class SFS:
         now = self.sim.now
         invoke = invoke_ts if invoke_ts is not None else now
         self.stats.submitted += 1
+        if self._trace_on:
+            self._trace.emit(now, tev.SFS_SUBMIT, task.tid)
         self.monitor.record_arrival(now)
         self._push(QueueEntry(task=task, enqueue_ts=now, invoke_ts=invoke))
         self._drain()
@@ -151,20 +157,29 @@ class SFS:
                 return False
             task = entry.task
             state = self.machine.poll_state(task)
+            delay = now - entry.enqueue_ts
             if state is TaskState.FINISHED:
                 self.stats.skipped_finished += 1
+                if self._trace_on:
+                    self._trace.emit(now, tev.SFS_SKIP_FINISHED, task.tid,
+                                     args=(delay,))
                 continue
-            delay = now - entry.enqueue_ts
             if not entry.resumed and self.overload.should_bypass(
                 now, delay, self.monitor.slice
             ):
                 # 4.4: transient overload — leave the process in CFS.
                 self.stats.bypassed_overload += 1
-                task._sfs_bypassed = True  # type: ignore[attr-defined]
+                task.sfs_bypassed = True
+                if self._trace_on:
+                    self._trace.emit(now, tev.SFS_OVERLOAD, task.tid,
+                                     args=(delay, self.monitor.slice))
                 continue
             if self.config.io_aware and state is TaskState.BLOCKED:
                 # Found sleeping (e.g. leading I/O): watch until runnable.
                 self.stats.watched_at_pop += 1
+                if self._trace_on:
+                    self._trace.emit(now, tev.SFS_WATCH_AT_POP, task.tid,
+                                     args=(delay,))
                 self._watch_task(entry)
                 continue
             self._promote(worker, entry)
@@ -174,17 +189,20 @@ class SFS:
         """FILTER-schedule ``entry`` on ``worker`` (schedtool -> FIFO)."""
         now = self.sim.now
         task = entry.task
-        slice_left = getattr(task, "_sfs_slice_left", None)
+        slice_left = task.sfs_slice_left
         if slice_left is None:
             slice_left = self.monitor.slice
-            task._sfs_slice_left = slice_left  # type: ignore[attr-defined]
-            task._sfs_slice_granted = slice_left  # type: ignore[attr-defined]
+            task.sfs_slice_left = slice_left
+            task.sfs_slice_granted = slice_left
         worker.entry = entry
         worker.assigned_at = now
         worker.cpu_at_assign = task.cpu_time
         worker.slice_at_assign = slice_left
         self._by_tid[task.tid] = worker
         self.stats.promoted += 1
+        if self._trace_on:
+            self._trace.emit(now, tev.SFS_PROMOTE, task.tid, worker.index,
+                             args=(slice_left, now - entry.enqueue_ts))
         self._sched_op()
         self.machine.set_policy(task, SchedPolicy.FIFO, self.config.rt_priority)
         worker.slice_handle = self.sim.schedule(
@@ -202,12 +220,17 @@ class SFS:
         """waitpid: the function returned (4.1) — release its worker."""
         if self._watch.pop(task.tid, None) is not None:
             self.stats.finished_while_watched += 1
+            if self._trace_on:
+                self._trace.emit(self.sim.now, tev.SFS_WATCH_FINISH, task.tid)
         worker = self._by_tid.pop(task.tid, None)
         if worker is None:
             return
         if worker.entry is not None and worker.entry.task is task:
             if worker.slice_handle is not None and worker.slice_handle.active:
                 self.stats.completed_in_filter += 1
+                if self._trace_on:
+                    self._trace.emit(self.sim.now, tev.SFS_FILTER_FINISH,
+                                     task.tid, worker.index)
             worker.clear()
             self._drain()
 
@@ -216,9 +239,12 @@ class SFS:
         worker.slice_handle = None
         if worker.entry is None or worker.entry.task is not task:
             return  # stale timer
-        task._sfs_slice_left = 0  # type: ignore[attr-defined]
-        task._sfs_demoted = True  # type: ignore[attr-defined]
+        task.sfs_slice_left = 0
+        task.sfs_demoted = True
         self.stats.demoted_slice += 1
+        if self._trace_on:
+            self._trace.emit(self.sim.now, tev.SFS_DEMOTE_SLICE,
+                             task.tid, worker.index)
         self._sched_op()
         self._by_tid.pop(task.tid, None)
         worker.clear()
@@ -237,9 +263,12 @@ class SFS:
             # record the unused slice, drop priority, take the next one.
             used = task.cpu_time - worker.cpu_at_assign
             left = max(0, worker.slice_at_assign - used)
-            task._sfs_slice_left = left  # type: ignore[attr-defined]
+            task.sfs_slice_left = left
             entry = worker.entry
             self.stats.demoted_io += 1
+            if self._trace_on:
+                self._trace.emit(self.sim.now, tev.SFS_DEMOTE_IO,
+                                 task.tid, worker.index, args=(left,))
             self._sched_op()
             self._by_tid.pop(task.tid, None)
             worker.clear()
@@ -248,7 +277,7 @@ class SFS:
                 self._watch_task(entry)
             else:
                 self.stats.demoted_io_exhausted += 1
-                task._sfs_demoted = True  # type: ignore[attr-defined]
+                task.sfs_demoted = True
             self._drain()
         elif state is TaskState.FINISHED:  # defensive; finish cb handles it
             worker.clear()
@@ -263,6 +292,8 @@ class SFS:
     # ==================================================================
     def _watch_task(self, entry: QueueEntry) -> None:
         self._watch[entry.task.tid] = entry
+        if self._trace_on:
+            self._trace.emit(self.sim.now, tev.SFS_WATCH, entry.task.tid)
         if not self._watch_poll_active:
             self._watch_poll_active = True
             self.sim.schedule(self.config.poll_interval, self._on_watch_poll)
@@ -276,12 +307,16 @@ class SFS:
             state = self.machine.poll_state(entry.task)
             if state is TaskState.FINISHED:
                 self.stats.finished_while_watched += 1
+                if self._trace_on:
+                    self._trace.emit(now, tev.SFS_WATCH_FINISH, tid)
                 del self._watch[tid]
             elif state in (TaskState.READY, TaskState.RUNNING):
                 del self._watch[tid]
                 woke.append(entry)
         for entry in woke:
             self.stats.resubmitted += 1
+            if self._trace_on:
+                self._trace.emit(now, tev.SFS_RESUBMIT, entry.task.tid)
             self._push(
                 QueueEntry(
                     task=entry.task,
@@ -303,3 +338,18 @@ class SFS:
 
     def busy_workers(self) -> int:
         return sum(1 for w in self.workers if not w.idle)
+
+    def queued(self) -> int:
+        """Requests currently waiting across all global queue(s)."""
+        if not self.config.per_worker_queues:
+            return len(self.queue)
+        return sum(len(q) for q in self.queues)
+
+    # ------------------------------------------------------------------
+    # structured tracing
+    # ------------------------------------------------------------------
+    def sample_gauges(self, trace, now: int) -> None:
+        """Emit scheduler-state gauges (called by the periodic sampler)."""
+        trace.emit(now, tev.GAUGE_GLOBAL_QUEUE, args=(self.queued(),))
+        trace.emit(now, tev.GAUGE_WATCH_LIST, args=(len(self._watch),))
+        trace.emit(now, tev.GAUGE_BUSY_WORKERS, args=(self.busy_workers(),))

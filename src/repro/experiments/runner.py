@@ -9,6 +9,7 @@ results come back as a :class:`repro.metrics.collector.RunResult`.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
@@ -22,6 +23,8 @@ from repro.sched.ideal import IdealMachine
 from repro.sched.srtf import SRTFMachine
 from repro.sim.engine import Simulator
 from repro.sim.task import SchedPolicy, Task
+from repro.trace import RunManifest, attach_gauge_sampler
+from repro.trace import events as tev
 from repro.workload.spec import RequestSpec, Workload
 
 SCHEDULERS = ("cfs", "fifo", "rr", "sfs", "srtf", "ideal")
@@ -67,13 +70,23 @@ def _make_machine(sim: Simulator, cfg: RunConfig):
     return ENGINES[cfg.engine](sim, cfg.machine)
 
 
-def run_workload(workload: Workload, cfg: RunConfig) -> RunResult:
-    """Execute ``workload`` under ``cfg`` and collect per-request records."""
-    sim = Simulator()
+def run_workload(
+    workload: Workload, cfg: RunConfig, trace: Optional[object] = None
+) -> RunResult:
+    """Execute ``workload`` under ``cfg`` and collect per-request records.
+
+    Pass a :class:`repro.trace.TraceRecorder` as ``trace`` to capture the
+    structured event stream; the default records nothing and costs one
+    predicted branch per instrumentation site.
+    """
+    wall_start = time.perf_counter()
+    sim = Simulator(trace=trace)
+    tr = sim.trace
     machine = _make_machine(sim, cfg)
     sfs: Optional[SFS] = None
     if cfg.scheduler == "sfs":
         sfs = SFS(machine, cfg.sfs)
+    attach_gauge_sampler(sim, machine, sfs)
 
     policy = _POLICY_FOR.get(cfg.scheduler, SchedPolicy.CFS)
     pairs: List[Tuple[RequestSpec, Task]] = []
@@ -81,6 +94,9 @@ def run_workload(workload: Workload, cfg: RunConfig) -> RunResult:
     def dispatch(spec: RequestSpec) -> None:
         task = spec.make_task(policy=policy)
         pairs.append((spec, task))
+        if tr.enabled:
+            tr.emit(sim.now, tev.TASK_SPAWN, task.tid,
+                    args=(spec.name, spec.req_id))
         machine.spawn(task)
         if sfs is not None:
             if cfg.notify_latency > 0:
@@ -99,6 +115,14 @@ def run_workload(workload: Workload, cfg: RunConfig) -> RunResult:
             f"{cfg.scheduler}/{cfg.engine} (first: {unfinished[:5]})"
         )
 
+    manifest = RunManifest.build(
+        run_config=cfg,
+        workload=workload,
+        sim=sim,
+        n_cores=machine.n_cores,
+        wall_time_s=time.perf_counter() - wall_start,
+        trace=trace,
+    )
     return RunResult(
         scheduler=cfg.scheduler,
         engine=cfg.engine,
@@ -111,6 +135,7 @@ def run_workload(workload: Workload, cfg: RunConfig) -> RunResult:
         queue_delay_samples=sfs.delay_samples() if sfs else None,
         overhead=sfs.overhead if sfs else None,
         meta=dict(workload.meta),
+        manifest=manifest,
     )
 
 

@@ -23,6 +23,7 @@ from repro.sched.cfs import CfsParams
 from repro.sched.rt import DEFAULT_RR_QUANTUM
 from repro.sim.engine import Simulator
 from repro.sim.task import SchedPolicy, Task, TaskState
+from repro.trace import events as tev
 
 FinishCallback = Callable[[Task], None]
 
@@ -77,6 +78,11 @@ class MachineBase:
         self.params = params or MachineParams()
         self.n_cores = self.params.n_cores
         self._finish_callbacks: List[FinishCallback] = []
+        # structured tracing: recorder and its enabled flag are cached at
+        # construction (install the recorder on the Simulator first); the
+        # plain-bool guard keeps disabled-mode sites to one attribute load
+        self._trace = sim.trace
+        self._trace_on = self._trace.enabled
         # aggregate accounting
         self.busy_time: int = 0          # core-microseconds of CPU work done
         self.tasks_spawned: int = 0
@@ -118,7 +124,21 @@ class MachineBase:
         raise NotImplementedError
 
     # ------------------------------------------------------------------
+    # structured tracing
+    # ------------------------------------------------------------------
+    def sample_gauges(self, trace, now: int) -> None:
+        """Emit machine-state gauges (called by the periodic sampler).
+
+        The base snapshot works for any machine exposing the
+        introspection API; engines override to add per-queue depth.
+        """
+        trace.emit(now, tev.GAUGE_RUNNABLE, args=(self.runnable_count(),))
+        trace.emit(now, tev.GAUGE_IDLE_CORES, args=(self.idle_cores(),))
+
+    # ------------------------------------------------------------------
     def _notify_finish(self, task: Task) -> None:
         self.tasks_finished += 1
+        if self._trace_on:
+            self._trace.emit(self.sim.now, tev.TASK_FINISH, task.tid)
         for cb in list(self._finish_callbacks):
             cb(task)

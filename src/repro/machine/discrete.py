@@ -21,6 +21,7 @@ from repro.sched.cfs import CfsRunqueue
 from repro.sched.rt import RTRunqueue
 from repro.sim.engine import EventHandle, Simulator
 from repro.sim.task import Burst, BurstKind, SchedPolicy, Task, TaskState
+from repro.trace import events as tev
 
 
 class _Core:
@@ -91,6 +92,8 @@ class DiscreteMachine(MachineBase):
         assert first is not None
         if first.kind is BurstKind.IO:
             task.state = TaskState.BLOCKED
+            if self._trace_on:
+                self._trace.emit(self.sim.now, tev.TASK_BLOCK, task.tid)
             self.sim.schedule(first.duration, self._on_io_done, task, first.duration)
         else:
             self._make_ready(task)
@@ -102,6 +105,9 @@ class DiscreteMachine(MachineBase):
         rt_priority = rt_priority if policy is not SchedPolicy.CFS else 0
         if task.policy is policy and task.rt_priority == rt_priority:
             return
+        if self._trace_on:
+            self._trace.emit(self.sim.now, tev.TASK_POLICY, task.tid,
+                             args=(policy.name, rt_priority))
         old_policy = task.policy
         state = task.state
 
@@ -146,6 +152,13 @@ class DiscreteMachine(MachineBase):
     def runnable_count(self) -> int:
         return sum(len(c.rq) for c in self.cores) + len(self.rt_rq)
 
+    def sample_gauges(self, trace, now: int) -> None:
+        super().sample_gauges(trace, now)
+        for core in self.cores:
+            trace.emit(now, tev.GAUGE_RUNQUEUE, core=core.index,
+                       args=(len(core.rq),))
+        trace.emit(now, tev.GAUGE_RT_QUEUE, args=(len(self.rt_rq),))
+
     # ==================================================================
     # internals
     # ==================================================================
@@ -178,6 +191,10 @@ class DiscreteMachine(MachineBase):
                 return
             core.cancel_timers()
             victim.ctx_involuntary += 1
+            if self._trace_on:
+                self._trace.emit(self.sim.now, tev.TASK_DESCHEDULE,
+                                 victim.tid, core.index,
+                                 (tev.DESCHED_PREEMPT,))
             self._make_ready(victim)
             core.task = None
             victim._rq_core = core.index  # type: ignore[attr-defined]
@@ -235,6 +252,10 @@ class DiscreteMachine(MachineBase):
             if victim is not None:
                 core.cancel_timers()
                 victim.ctx_involuntary += 1
+                if self._trace_on:
+                    self._trace.emit(self.sim.now, tev.TASK_DESCHEDULE,
+                                     victim.tid, core.index,
+                                     (tev.DESCHED_PREEMPT,))
                 self._make_ready(victim)
                 core.task = None
             # Start the RT task *before* re-enqueuing the victim:
@@ -304,8 +325,14 @@ class DiscreteMachine(MachineBase):
         if task.first_run_time is None:
             task.first_run_time = now
         last = getattr(task, "_last_run_core", None)
-        if last is not None and last != core.index:
+        migrated = last is not None and last != core.index
+        if migrated:
             task.migrations += 1
+        if self._trace_on:
+            tr = self._trace
+            if migrated:
+                tr.emit(now, tev.TASK_MIGRATE, task.tid, core.index, (last,))
+            tr.emit(now, tev.TASK_RUN, task.tid, core.index)
         task._last_run_core = core.index  # type: ignore[attr-defined]
         task._run_core = core.index  # type: ignore[attr-defined]
         task.state = TaskState.RUNNING
@@ -369,6 +396,9 @@ class DiscreteMachine(MachineBase):
             if core.completion_handle is not None:
                 core.completion_handle.cancel()
                 core.completion_handle = None
+            if self._trace_on:
+                self._trace.emit(self.sim.now, tev.TASK_DESCHEDULE,
+                                 task.tid, core.index, (tev.DESCHED_SLICE,))
             self._make_ready(task)
             core.task = None
             task._rq_core = core.index  # type: ignore[attr-defined]
@@ -393,6 +423,9 @@ class DiscreteMachine(MachineBase):
             if core.completion_handle is not None:
                 core.completion_handle.cancel()
                 core.completion_handle = None
+            if self._trace_on:
+                self._trace.emit(self.sim.now, tev.TASK_DESCHEDULE,
+                                 task.tid, core.index, (tev.DESCHED_QUANTUM,))
             self._make_ready(task)
             core.task = None
             self.rt_rq.enqueue(task)
@@ -412,6 +445,9 @@ class DiscreteMachine(MachineBase):
     def _complete_burst(self, core: _Core, task: Task) -> None:
         core.cancel_timers()
         nxt = task.advance_burst()
+        if self._trace_on and (nxt is None or nxt.kind is BurstKind.IO):
+            self._trace.emit(self.sim.now, tev.TASK_DESCHEDULE, task.tid,
+                             core.index, (tev.DESCHED_BURST_END,))
         if nxt is None:
             task.state = TaskState.FINISHED
             task.finish_time = self.sim.now
@@ -424,6 +460,8 @@ class DiscreteMachine(MachineBase):
             task.state = TaskState.BLOCKED
             task.ctx_voluntary += 1
             core.task = None
+            if self._trace_on:
+                self._trace.emit(self.sim.now, tev.TASK_BLOCK, task.tid)
             self.sim.schedule(nxt.duration, self._on_io_done, task, nxt.duration)
             self._pick_next(core)
         else:  # back-to-back CPU burst: keep the core, restart timers
@@ -448,6 +486,8 @@ class DiscreteMachine(MachineBase):
             self._notify_finish(task)
             return
         assert nxt.kind is BurstKind.CPU, "consecutive I/O bursts must be merged"
+        if self._trace_on:
+            self._trace.emit(self.sim.now, tev.TASK_WAKE, task.tid)
         self._make_ready(task)
         self._enqueue_ready(task, wakeup=True)
 
@@ -463,6 +503,9 @@ class DiscreteMachine(MachineBase):
         _runtime, period = self.params.rt_bandwidth
         task.ctx_involuntary += 1
         core.cancel_timers()
+        if self._trace_on:
+            self._trace.emit(self.sim.now, tev.TASK_DESCHEDULE, task.tid,
+                             core.index, (tev.DESCHED_THROTTLE,))
         self._make_ready(task)
         core.task = None
         self.rt_rq.enqueue(task)
@@ -478,6 +521,9 @@ class DiscreteMachine(MachineBase):
     def _demote_running(self, core: _Core, task: Task) -> None:
         """RT -> CFS while on CPU (SFS slice-expiry demotion)."""
         core.cancel_timers()
+        if self._trace_on:
+            self._trace.emit(self.sim.now, tev.TASK_DESCHEDULE, task.tid,
+                             core.index, (tev.DESCHED_RECLASS,))
         self._make_ready(task)
         core.task = None
         self._enqueue_cfs(task, wakeup=False)

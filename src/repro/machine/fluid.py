@@ -34,6 +34,7 @@ from repro.machine.base import MachineBase, MachineParams
 from repro.sched.rt import RTRunqueue
 from repro.sim.engine import EventHandle, Simulator
 from repro.sim.task import BurstKind, SchedPolicy, Task, TaskState
+from repro.trace import events as tev
 
 _EPS = 1e-6
 
@@ -58,6 +59,11 @@ class FluidMachine(MachineBase):
         # --- RT (FIFO) side ---
         self.rt_wait = RTRunqueue()
         self._rt_running: dict[int, Task] = {}      # tid -> task
+        # --- tracing only: stable virtual core slots for RT tasks ---
+        # (the fluid model has no real core assignment; slots give the
+        # Chrome exporter per-core tracks for dedicated/FILTER tasks)
+        self._rt_slots: dict[int, int] = {}         # tid -> slot
+        self._free_slots: list[int] = list(range(self.n_cores))
 
     # ==================================================================
     # public API
@@ -71,6 +77,8 @@ class FluidMachine(MachineBase):
         assert first is not None
         if first.kind is BurstKind.IO:
             task.state = TaskState.BLOCKED
+            if self._trace_on:
+                self._trace.emit(self.sim.now, tev.TASK_BLOCK, task.tid)
             self.sim.schedule(first.duration, self._on_io_done, task, first.duration)
         else:
             self._enqueue_ready(task)
@@ -81,6 +89,9 @@ class FluidMachine(MachineBase):
         rt_priority = rt_priority if policy is not SchedPolicy.CFS else 0
         if task.policy is policy and task.rt_priority == rt_priority:
             return
+        if self._trace_on:
+            self._trace.emit(self.sim.now, tev.TASK_POLICY, task.tid,
+                             args=(policy.name, rt_priority))
         was_dedicated = self._is_dedicated(task.policy)
 
         if task.state in (TaskState.BLOCKED, TaskState.CREATED):
@@ -93,7 +104,7 @@ class FluidMachine(MachineBase):
             task.state = TaskState.READY
             task._ready_since = self.sim.now  # type: ignore[attr-defined]
         elif task.tid in self._rt_running:
-            self._stop_rt(task, involuntary=True)
+            self._stop_rt(task, involuntary=True, reason=tev.DESCHED_RECLASS)
             task.state = TaskState.READY
             task._ready_since = self.sim.now  # type: ignore[attr-defined]
         elif task.state is TaskState.READY:
@@ -113,6 +124,12 @@ class FluidMachine(MachineBase):
         free = max(0, self.n_cores - len(self._rt_running))
         queued_pool = max(0, len(self._pool) - free)
         return len(self.rt_wait) + queued_pool
+
+    def sample_gauges(self, trace, now: int) -> None:
+        super().sample_gauges(trace, now)
+        trace.emit(now, tev.GAUGE_POOL, args=(len(self._pool),))
+        trace.emit(now, tev.GAUGE_RT_RUNNING, args=(len(self._rt_running),))
+        trace.emit(now, tev.GAUGE_RT_QUEUE, args=(len(self.rt_wait),))
 
     # ==================================================================
     # pool (CFS + RR-as-sharing) mechanics
@@ -198,6 +215,8 @@ class FluidMachine(MachineBase):
         task.wait_time += self.sim.now - getattr(task, "_ready_since", self.sim.now)
         task.state = TaskState.RUNNING
         self._pool[task.tid] = task
+        if self._trace_on:
+            self._trace.emit(self.sim.now, tev.TASK_RUN, task.tid)
         heapq.heappush(self._heap, (target, next(self._seq), task))
         self._reschedule_pool_event()
 
@@ -206,6 +225,10 @@ class FluidMachine(MachineBase):
         self._advance()
         assert task.tid in self._pool
         del self._pool[task.tid]
+        if self._trace_on:
+            reason = tev.DESCHED_BURST_END if completing else tev.DESCHED_RECLASS
+            self._trace.emit(self.sim.now, tev.TASK_DESCHEDULE, task.tid,
+                             args=(reason,))
         served_float = self._credit - task._pool_enter_credit  # type: ignore[attr-defined]
         if completing:
             served = task.burst_remaining
@@ -253,7 +276,12 @@ class FluidMachine(MachineBase):
                 continue  # stale entry
             del self._pool[task.tid]
             finished.append(task)
+        tr = self._trace
+        tr_on = self._trace_on
         for task in finished:
+            if tr_on:
+                tr.emit(self.sim.now, tev.TASK_DESCHEDULE, task.tid,
+                        args=(tev.DESCHED_BURST_END,))
             served = task.burst_remaining
             task.consume_cpu(served)
             elapsed = self.sim.now - task._pool_enter_time  # type: ignore[attr-defined]
@@ -305,9 +333,15 @@ class FluidMachine(MachineBase):
             task.burst_remaining, self._on_rt_completion, task
         )
         self._rt_running[task.tid] = task
+        if self._trace_on:
+            slot = heapq.heappop(self._free_slots) if self._free_slots else -1
+            if slot >= 0:
+                self._rt_slots[task.tid] = slot
+            self._trace.emit(self.sim.now, tev.TASK_RUN, task.tid, slot)
         self._reschedule_pool_event()
 
-    def _stop_rt(self, task: Task, involuntary: bool) -> None:
+    def _stop_rt(self, task: Task, involuntary: bool,
+                 reason: str = tev.DESCHED_PREEMPT) -> None:
         """Take a dedicated-core task off CPU, charging service so far."""
         self._advance()
         handle = getattr(task, "_rt_end_handle", None)
@@ -318,6 +352,9 @@ class FluidMachine(MachineBase):
         served = min(served, task.burst_remaining)
         task.consume_cpu(served)
         del self._rt_running[task.tid]
+        if self._trace_on:
+            self._trace.emit(self.sim.now, tev.TASK_DESCHEDULE, task.tid,
+                             self._release_slot(task.tid), args=(reason,))
         if involuntary:
             task.ctx_involuntary += 1
         self._reschedule_pool_event()
@@ -327,9 +364,20 @@ class FluidMachine(MachineBase):
         task._rt_end_handle = None  # type: ignore[attr-defined]
         task.consume_cpu(task.burst_remaining)
         del self._rt_running[task.tid]
+        if self._trace_on:
+            self._trace.emit(self.sim.now, tev.TASK_DESCHEDULE, task.tid,
+                             self._release_slot(task.tid),
+                             args=(tev.DESCHED_BURST_END,))
         self._complete_cpu_burst(task)
         self._dispatch_rt()
         self._reschedule_pool_event()
+
+    def _release_slot(self, tid: int) -> int:
+        """Return the task's virtual core slot to the free list (tracing)."""
+        slot = self._rt_slots.pop(tid, -1)
+        if slot >= 0:
+            heapq.heappush(self._free_slots, slot)
+        return slot
 
     # ==================================================================
     # burst lifecycle (shared)
@@ -343,6 +391,8 @@ class FluidMachine(MachineBase):
         elif nxt.kind is BurstKind.IO:
             task.state = TaskState.BLOCKED
             task.ctx_voluntary += 1
+            if self._trace_on:
+                self._trace.emit(self.sim.now, tev.TASK_BLOCK, task.tid)
             self.sim.schedule(nxt.duration, self._on_io_done, task, nxt.duration)
         else:  # consecutive CPU burst: continue under the current policy
             task.state = TaskState.READY
@@ -357,6 +407,8 @@ class FluidMachine(MachineBase):
             self._notify_finish(task)
             return
         assert nxt.kind is BurstKind.CPU, "consecutive I/O bursts must be merged"
+        if self._trace_on:
+            self._trace.emit(self.sim.now, tev.TASK_WAKE, task.tid)
         task.state = TaskState.READY
         task._ready_since = self.sim.now  # type: ignore[attr-defined]
         self._enqueue_ready(task)

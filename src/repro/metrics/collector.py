@@ -86,9 +86,9 @@ def build_records(pairs: Sequence[Tuple[RequestSpec, Task]]) -> List[RequestReco
                 ctx_involuntary=task.ctx_involuntary,
                 ctx_voluntary=task.ctx_voluntary,
                 migrations=task.migrations,
-                bypassed=bool(getattr(task, "_sfs_bypassed", False)),
-                demoted=bool(getattr(task, "_sfs_demoted", False)),
-                slice_granted=getattr(task, "_sfs_slice_granted", None),
+                bypassed=task.sfs_bypassed,
+                demoted=task.sfs_demoted,
+                slice_granted=task.sfs_slice_granted,
             )
         )
     return records
@@ -110,6 +110,9 @@ class RunResult:
     queue_delay_samples: Optional[List[Tuple[int, int]]] = None
     overhead: Optional[object] = None
     meta: Dict[str, object] = field(default_factory=dict)
+    #: run provenance (:class:`repro.trace.RunManifest`); attached by the
+    #: experiment runner so every exported artifact can embed it
+    manifest: Optional[object] = None
 
     def __post_init__(self) -> None:
         self.records = sorted(self.records, key=lambda r: r.req_id)

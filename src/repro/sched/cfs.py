@@ -74,6 +74,9 @@ class CfsRunqueue:
         self.min_vruntime: int = 0
         self._seq = itertools.count()
         self.total_weight: int = 0
+        # observability: lifetime enqueue count and peak depth
+        self.total_enqueued: int = 0
+        self.peak_depth: int = 0
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -105,6 +108,10 @@ class CfsRunqueue:
         node = self._tree.insert((task.vruntime, next(self._seq)), task)
         self._nodes[task.tid] = node
         self.total_weight += task.weight
+        self.total_enqueued += 1
+        depth = len(self._nodes)
+        if depth > self.peak_depth:
+            self.peak_depth = depth
 
     def dequeue(self, task: Task) -> None:
         """Remove a specific task (e.g. promoted to the RT class)."""

@@ -37,6 +37,9 @@ class RTRunqueue:
         self._heap: list[tuple[int, int, Task]] = []
         self._seq = itertools.count()
         self._members: set[int] = set()
+        # observability: lifetime enqueue count and peak depth
+        self.total_enqueued: int = 0
+        self.peak_depth: int = 0
 
     def __len__(self) -> int:
         live = 0
@@ -56,6 +59,10 @@ class RTRunqueue:
             raise RuntimeError(f"task {task.tid} already on the RT runqueue")
         self._members.add(task.tid)
         heapq.heappush(self._heap, (-task.rt_priority, next(self._seq), task))
+        self.total_enqueued += 1
+        depth = len(self._members)
+        if depth > self.peak_depth:
+            self.peak_depth = depth
 
     def remove(self, task: Task) -> None:
         """Lazy removal (e.g. task re-classed to CFS while queued)."""

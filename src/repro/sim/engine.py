@@ -15,6 +15,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Optional
 
+from repro.trace.recorder import NULL_RECORDER
+
 
 class SimulationError(RuntimeError):
     """Raised on misuse of the simulator (e.g. scheduling in the past)."""
@@ -65,14 +67,21 @@ class Simulator:
 
     Time never flows backwards; callbacks run at exactly their scheduled
     virtual time and may schedule further events (including at ``now``).
+
+    ``trace`` is the structured-event recorder every instrumented layer
+    (machines, schedulers, SFS) caches at construction time; it defaults
+    to the shared no-op :data:`repro.trace.recorder.NULL_RECORDER`, so
+    install a real :class:`repro.trace.TraceRecorder` *before* building
+    the machine when a run should be traced.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, trace: Optional[Any] = None) -> None:
         self.now: int = 0
         self._heap: list[tuple[int, int, EventHandle]] = []
         self._seq: int = 0
         self._running = False
         self.events_executed: int = 0
+        self.trace = trace if trace is not None else NULL_RECORDER
 
     # ------------------------------------------------------------------
     # scheduling

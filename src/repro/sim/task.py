@@ -102,6 +102,12 @@ class Task:
     migrations: int = 0
     policy_changes: List[Tuple[int, SchedPolicy]] = field(default_factory=list)
 
+    # --- SFS accounting (written by repro.core, read by metrics) -------
+    sfs_bypassed: bool = False               # overload detector left it in CFS
+    sfs_demoted: bool = False                # FILTER slice budget exhausted
+    sfs_slice_granted: Optional[int] = None  # S at first FILTER promotion
+    sfs_slice_left: Optional[int] = None     # remaining FILTER slice budget
+
     def __post_init__(self) -> None:
         if not self.bursts:
             raise ValueError("a task needs at least one burst")

@@ -1,0 +1,39 @@
+"""Periodic gauge sampling.
+
+Discrete events answer *what happened*; gauges answer *how deep were
+the queues while it happened* — the paper's queueing-delay story
+(Fig 12) is invisible without them.  The sampler is one self-
+rescheduling simulator event that asks the machine (and the SFS layer,
+when present) to emit their ``gauge.*`` snapshots every
+``trace.gauge_interval`` microseconds.
+
+Termination: the simulator runs until its heap drains, so a timer that
+always rearmed itself would keep the run alive forever.  The sampler
+rearms only while *other* live events remain, which makes it exactly as
+long-lived as the run it observes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+def attach_gauge_sampler(sim, machine, sfs: Optional[object] = None) -> None:
+    """Sample machine (and SFS) gauges on ``sim.trace``'s interval.
+
+    A no-op when the simulator's recorder is the NullRecorder.
+    """
+    trace = sim.trace
+    if not trace.enabled:
+        return
+    interval = trace.gauge_interval
+
+    def sample() -> None:
+        now = sim.now
+        machine.sample_gauges(trace, now)
+        if sfs is not None:
+            sfs.sample_gauges(trace, now)
+        if sim.pending > 0:  # rearm only while the run is still live
+            sim.schedule(interval, sample)
+
+    sim.schedule(interval, sample)

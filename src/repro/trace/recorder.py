@@ -1,0 +1,92 @@
+"""Trace recorders.
+
+The whole stack is instrumented against one two-method protocol:
+
+* ``enabled`` — class-level flag the hot paths branch on;
+* ``emit(ts, kind, tid, core, args)`` — append one event.
+
+:class:`NullRecorder` is the default everywhere and makes tracing free
+when off: instrumented call sites read one attribute and skip the
+``emit`` call entirely (``if tr.enabled: tr.emit(...)``), so a disabled
+run pays a pointer load and a predictable branch per site — nothing
+else.  :class:`TraceRecorder` appends :class:`TraceEvent` tuples to an
+in-memory list; exporters (:mod:`repro.trace.export`) turn that list
+into Chrome trace-event JSON or JSONL after the run.
+
+Recorders are installed on the :class:`repro.sim.engine.Simulator`
+(``Simulator(trace=...)``) **before** machines and schedulers are
+constructed — they cache the reference once at init time.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Tuple
+
+from repro.trace.events import TraceEvent
+
+
+class NullRecorder:
+    """Do-nothing recorder; the zero-overhead default."""
+
+    __slots__ = ()
+
+    enabled: bool = False
+    #: gauge sampling period (us) honoured when a sampler is attached.
+    gauge_interval: int = 10_000
+
+    def emit(self, ts: int, kind: str, tid: int = -1, core: int = -1,
+             args: Tuple = ()) -> None:  # pragma: no cover - never hot
+        return None
+
+    def __len__(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<NullRecorder>"
+
+
+#: shared singleton — every uninstrumented run points here.
+NULL_RECORDER = NullRecorder()
+
+
+class TraceRecorder(NullRecorder):
+    """In-memory structured event recorder.
+
+    ``gauge_interval`` (integer microseconds) sets how often the gauge
+    sampler (:mod:`repro.trace.gauges`) snapshots queue depths while a
+    run is live.
+    """
+
+    __slots__ = ("events", "gauge_interval")
+
+    enabled = True
+
+    def __init__(self, gauge_interval: int = 10_000):
+        if gauge_interval <= 0:
+            raise ValueError("gauge_interval must be positive")
+        self.events: List[TraceEvent] = []
+        self.gauge_interval = gauge_interval
+
+    def emit(self, ts: int, kind: str, tid: int = -1, core: int = -1,
+             args: Tuple = ()) -> None:
+        self.events.append(TraceEvent(ts, kind, tid, core, args))
+
+    # ------------------------------------------------------------------
+    # post-run inspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def kind_counts(self) -> Dict[str, int]:
+        """Event count per kind (the reconciliation surface for stats)."""
+        return dict(Counter(e.kind for e in self.events))
+
+    def by_kind(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def by_tid(self, tid: int) -> List[TraceEvent]:
+        return [e for e in self.events if e.tid == tid]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TraceRecorder {len(self.events)} events>"

@@ -92,6 +92,7 @@ class FaaSBench:
 
     def __init__(self, config: FaaSBenchConfig, seed: SeedLike = None):
         self.config = config
+        self.seed = seed
         self.rng = make_rng(seed)
         self.durations = TableIDurations()
 
@@ -145,6 +146,7 @@ class FaaSBench:
             "iat_kind": cfg.iat_kind,
             "n_cores": cfg.n_cores,
             "io_fraction": cfg.io_fraction,
+            "seed": self.seed if isinstance(self.seed, int) else None,
         }
         return Workload(requests, meta)
 

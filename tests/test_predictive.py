@@ -167,12 +167,12 @@ def test_predictive_slices_match_predictions():
     _sim, layer, tasks = run_predictive(n=300)
     # learned tiny functions get small granted slices, big ones large
     tiny_slices = [
-        getattr(t, "_sfs_slice_granted", None)
+        t.sfs_slice_granted
         for t in tasks[150:]
         if t.name == "tiny"
     ]
     big_slices = [
-        getattr(t, "_sfs_slice_granted", None)
+        t.sfs_slice_granted
         for t in tasks[150:]
         if t.name == "big"
     ]

@@ -83,7 +83,7 @@ def test_filter_population_bounded_by_workers(items, engine_cls, cores):
 def test_slice_budget_never_negative(items, engine_cls, cores):
     _sim, _sfs, tasks = drive(items, engine_cls, cores)
     for t in tasks:
-        left = getattr(t, "_sfs_slice_left", None)
+        left = t.sfs_slice_left
         if left is not None:
             assert left >= 0
 

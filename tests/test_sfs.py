@@ -55,7 +55,7 @@ def test_long_function_demoted_on_slice_expiry(engine_cls):
     assert t.finished
     assert sfs.stats.demoted_slice == 1
     assert t.policy is SchedPolicy.CFS
-    assert getattr(t, "_sfs_demoted", False)
+    assert t.sfs_demoted
 
 
 @pytest.mark.parametrize("engine_cls", ENGINES)
@@ -168,7 +168,7 @@ def test_overload_bypasses_filter(engine_cls):
     sim.run()
     assert sfs.stats.bypassed_overload > 0
     assert all(t.finished for t in tasks)
-    bypassed = [t for t in tasks if getattr(t, "_sfs_bypassed", False)]
+    bypassed = [t for t in tasks if t.sfs_bypassed]
     assert len(bypassed) == sfs.stats.bypassed_overload
 
 
