@@ -1,0 +1,83 @@
+"""Fault-subsystem overhead guard.
+
+``repro.faults`` promises *zero overhead when off*: a run built without
+any fault configuration never constructs a governor, and every check in
+the dispatch pipeline short-circuits on a single ``is None`` attribute
+load.  These benchmarks pin that promise with the same workload three
+ways:
+
+* ``nominal``  — no fault configuration at all (the pre-fault path);
+* ``null``     — the governor wired in but configured to do nothing
+  (NULL_PLAN + a retry policy): the hot path pays the boundary checks
+  and deadline arming machinery, nothing ever fails;
+* ``faulted``  — crashes + retries actually firing, to show what
+  injection costs when you opt in.
+
+The nominal-vs-null and null-vs-faulted ratios land in
+``benchmark.extra_info`` so the JSON artifact documents both the
+cost of *enabling* the subsystem and the cost of *using* it.
+"""
+
+import time
+
+from repro.experiments.runner import RunConfig, run_workload
+from repro.faults import NULL_PLAN, FaultPlan, RetryPolicy
+from repro.machine.base import MachineParams
+from repro.workload.faasbench import FaaSBench, FaaSBenchConfig
+
+
+def _workload(n=800, seed=1):
+    cfg = FaaSBenchConfig(n_requests=n, n_cores=8, target_load=0.8)
+    return FaaSBench(cfg, seed=seed).generate()
+
+
+def _drive(wl, **fault_kw):
+    cfg = RunConfig(scheduler="cfs", engine="fluid",
+                    machine=MachineParams(n_cores=8), **fault_kw)
+
+    def run():
+        res = run_workload(wl, cfg)
+        assert len(res.records) == len(wl)
+        return res
+
+    return run
+
+
+def _best_of(fn, rounds=5):
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_fault_check_overhead(benchmark):
+    wl = _workload()
+    nominal_run = _drive(wl)
+    null_run = _drive(wl, faults=NULL_PLAN, retry=RetryPolicy())
+    faulted_run = _drive(
+        wl,
+        faults=FaultPlan(seed=3, crash_prob=0.1),
+        retry=RetryPolicy(max_attempts=3),
+    )
+
+    # a null-configured governor must not change the simulation at all
+    assert null_run().records == nominal_run().records
+    stats = faulted_run().meta["fault_stats"]
+    assert stats["crashes"] > 0 and stats["retries"] > 0
+
+    nominal_s = _best_of(nominal_run)
+    null_s = _best_of(null_run)
+    faulted_s = _best_of(faulted_run)
+
+    benchmark.extra_info["nominal_best_s"] = round(nominal_s, 6)
+    benchmark.extra_info["null_best_s"] = round(null_s, 6)
+    benchmark.extra_info["faulted_best_s"] = round(faulted_s, 6)
+    benchmark.extra_info["null_over_nominal_ratio"] = round(
+        null_s / nominal_s, 3
+    )
+    benchmark.extra_info["faulted_over_nominal_ratio"] = round(
+        faulted_s / nominal_s, 3
+    )
+    benchmark(nominal_run)

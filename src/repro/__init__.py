@@ -22,6 +22,7 @@ Packages:
 * ``repro.core``     — SFS itself (FILTER pool, monitor, poller, overload)
 * ``repro.workload`` — FaaSBench and the synthetic Azure trace
 * ``repro.faas``     — the OpenLambda platform model
+* ``repro.faults``   — fault injection, retries, graceful degradation
 * ``repro.metrics``  — RTE, CDFs, percentiles, timelines
 * ``repro.experiments`` — one module per table/figure of the paper
 """
@@ -29,6 +30,7 @@ Packages:
 from repro.core import SFS, SFSConfig
 from repro.experiments.runner import RunConfig, run_many, run_workload
 from repro.faas import OpenLambdaConfig, run_openlambda
+from repro.faults import AdmissionControl, FaultPlan, RetryPolicy
 from repro.machine import DiscreteMachine, FluidMachine, MachineParams
 from repro.metrics import RequestRecord, RunResult
 from repro.sim import Simulator, Task
@@ -45,6 +47,9 @@ __all__ = [
     "run_many",
     "run_openlambda",
     "OpenLambdaConfig",
+    "FaultPlan",
+    "RetryPolicy",
+    "AdmissionControl",
     "MachineParams",
     "DiscreteMachine",
     "FluidMachine",

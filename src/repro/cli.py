@@ -56,6 +56,14 @@ def _add_workload_args(p: argparse.ArgumentParser) -> None:
                         "trace-event for Perfetto, .jsonl = JSON lines)")
     p.add_argument("--gauge-interval", type=int, default=10_000,
                    help="trace gauge sampling period in us")
+    p.add_argument("--faults", metavar="PLAN.json",
+                   help="inject faults from a FaultPlan JSON file")
+    p.add_argument("--timeout", type=int, metavar="US",
+                   help="per-request deadline in us (expired = killed)")
+    p.add_argument("--retries", type=int, metavar="N",
+                   help="retry failed attempts up to N total attempts")
+    p.add_argument("--shed", type=int, metavar="N",
+                   help="shed arrivals beyond N outstanding requests")
 
 
 def _workload(args):
@@ -89,11 +97,29 @@ def _trace_path_for(base: str, scheduler: str, multi: bool) -> str:
     return f"{root}-{scheduler}.{ext}"
 
 
+def _fault_config(args) -> dict:
+    """RunConfig kwargs for the ``--faults/--timeout/--retries/--shed``
+    flags (empty dict = nominal run, exact pre-fault code path)."""
+    from repro.faults import AdmissionControl, FaultPlan, RetryPolicy
+
+    kwargs = {}
+    if getattr(args, "faults", None):
+        kwargs["faults"] = FaultPlan.load(args.faults)
+    if getattr(args, "timeout", None) is not None:
+        kwargs["timeout"] = args.timeout
+    if getattr(args, "retries", None) is not None:
+        kwargs["retry"] = RetryPolicy(max_attempts=args.retries, seed=args.seed)
+    if getattr(args, "shed", None) is not None:
+        kwargs["admission"] = AdmissionControl(max_outstanding=args.shed)
+    return kwargs
+
+
 def _run(args, scheduler: str, trace_path: Optional[str] = None):
     from repro.trace import TraceRecorder, write_trace
 
     machine = MachineParams(n_cores=args.cores, ctx_switch_cost=args.ctx_cost)
-    cfg = RunConfig(scheduler=scheduler, engine=args.engine, machine=machine)
+    cfg = RunConfig(scheduler=scheduler, engine=args.engine, machine=machine,
+                    **_fault_config(args))
     recorder = None
     if trace_path:
         parent = os.path.dirname(trace_path)
@@ -130,6 +156,17 @@ def cmd_run(args) -> int:
             ("SFS finished in slice", s.completed_in_filter),
             ("SFS demoted (slice)", s.demoted_slice),
             ("SFS bypassed (overload)", s.bypassed_overload),
+        ]
+    if "fault_stats" in res.meta:
+        from repro.metrics.faults import fault_summary
+
+        fs = fault_summary(res)
+        rows += [
+            ("goodput (r/s)", f"{fs.goodput_rps:.1f}"),
+            ("goodput fraction", f"{fs.goodput_fraction:.1%}"),
+            ("retries/request", f"{fs.retries_per_request:.3f}"),
+            ("shed", fs.shed),
+            ("abandoned (failed+timeout)", fs.failed + fs.timeout),
         ]
     print(format_table(["metric", "value"], rows,
                        title=f"{args.scheduler} on {args.cores} cores, "

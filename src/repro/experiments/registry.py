@@ -12,6 +12,7 @@ from typing import Callable, Dict
 
 from repro.experiments import (
     ablations,
+    chaos,
     ext_billing,
     ext_cluster,
     ext_coldstart,
@@ -85,5 +86,7 @@ REGISTRY: Dict[str, Entry] = {
               ext_cluster),
         Entry("ext-billing", "pricing the overcharge claim in dollars",
               ext_billing),
+        Entry("chaos", "scheduling under failure: crashes, stragglers, "
+              "overload shedding", chaos),
     )
 }

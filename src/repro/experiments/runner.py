@@ -15,6 +15,9 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import SFSConfig
 from repro.core.sfs import SFS
+from repro.faults.plan import FaultPlan
+from repro.faults.policy import AdmissionControl, RetryPolicy
+from repro.faults.runtime import FaultRuntime
 from repro.machine.base import MachineParams
 from repro.machine.discrete import DiscreteMachine
 from repro.machine.fluid import FluidMachine
@@ -49,6 +52,14 @@ class RunConfig:
     #: FaaS-server -> SFS notification latency (the paper's UDP message,
     #: "hundreds of microseconds" §VI).
     notify_latency: int = 200
+    # --- fault injection & failure handling (repro.faults) ------------
+    #: what goes wrong; stragglers apply to host 0 (the only host),
+    #: host fail/recover windows need a cluster and are ignored here
+    faults: Optional[FaultPlan] = None
+    retry: Optional[RetryPolicy] = None
+    admission: Optional[AdmissionControl] = None
+    #: per-request deadline in us from arrival (None = no deadline)
+    timeout: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.scheduler not in SCHEDULERS:
@@ -57,6 +68,19 @@ class RunConfig:
             raise ValueError(f"unknown engine {self.engine!r}")
         if self.notify_latency < 0:
             raise ValueError("notify_latency must be >= 0")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive (us)")
+
+    @property
+    def fault_handling(self) -> bool:
+        """Does this run need a fault governor at all?  False keeps the
+        dispatch loop on the exact pre-fault code path."""
+        return (
+            self.faults is not None
+            or self.retry is not None
+            or self.admission is not None
+            or self.timeout is not None
+        )
 
     def with_scheduler(self, scheduler: str) -> "RunConfig":
         return replace(self, scheduler=scheduler)
@@ -82,14 +106,28 @@ def run_workload(
     wall_start = time.perf_counter()
     sim = Simulator(trace=trace)
     tr = sim.trace
+    if cfg.faults is not None:
+        # a straggler entry for host 0 degrades this (single) machine
+        speed = cfg.faults.straggler_speed(0)
+        if speed != 1.0:
+            cfg = replace(cfg, machine=replace(cfg.machine, speed=speed))
     machine = _make_machine(sim, cfg)
     sfs: Optional[SFS] = None
     if cfg.scheduler == "sfs":
         sfs = SFS(machine, cfg.sfs)
     attach_gauge_sampler(sim, machine, sfs)
 
+    governor: Optional[FaultRuntime] = None
+    if cfg.fault_handling:
+        governor = FaultRuntime(
+            sim, plan=cfg.faults, retry=cfg.retry,
+            admission=cfg.admission, timeout=cfg.timeout,
+        )
+
     policy = _POLICY_FOR.get(cfg.scheduler, SchedPolicy.CFS)
     pairs: List[Tuple[RequestSpec, Task]] = []
+    spec_of: Dict[int, RequestSpec] = {}
+    outstanding = [0]  # dispatched-but-unfinished requests (admission)
 
     def dispatch(spec: RequestSpec) -> None:
         task = spec.make_task(policy=policy)
@@ -97,15 +135,55 @@ def run_workload(
         if tr.enabled:
             tr.emit(sim.now, tev.TASK_SPAWN, task.tid,
                     args=(spec.name, spec.req_id))
+        if governor is not None:
+            spec_of[task.tid] = spec
         machine.spawn(task)
+        if governor is not None:
+            governor.arm(spec, task, machine)
         if sfs is not None:
             if cfg.notify_latency > 0:
                 sim.schedule(cfg.notify_latency, sfs.submit, task, spec.arrival)
             else:
                 sfs.submit(task, spec.arrival)
 
+    # --- fault-handling wrappers (dead code on the nominal path) ------
+    def arrive(spec: RequestSpec) -> None:
+        if not governor.admit(spec, outstanding[0]):
+            return
+        outstanding[0] += 1
+        ingress(spec)
+
+    def ingress(spec: RequestSpec) -> None:
+        if governor.expired(spec):  # deadline passed while backing off
+            outstanding[0] -= 1
+            governor.mark_timeout(spec)
+            return
+        governor.begin(spec)
+        if governor.coldstart_faulted(spec):  # spawn/provisioning failure
+            outstanding[0] -= 1
+            delay = governor.fail_attempt(spec)
+            if delay is not None:
+                sim.schedule(delay, retry_entry, spec)
+            return
+        dispatch(spec)
+
+    def retry_entry(spec: RequestSpec) -> None:
+        outstanding[0] += 1
+        ingress(spec)
+
+    def on_finish(task: Task) -> None:
+        spec = spec_of.pop(task.tid)
+        delay = governor.on_task_end(spec, task)
+        outstanding[0] -= 1
+        if delay is not None:
+            sim.schedule(delay, retry_entry, spec)
+
+    if governor is not None:
+        machine.on_finish(on_finish)
+
+    entry = dispatch if governor is None else arrive
     for spec in workload:
-        sim.schedule_at(spec.arrival, dispatch, spec)
+        sim.schedule_at(spec.arrival, entry, spec)
     sim.run()
 
     unfinished = [s.req_id for s, t in pairs if not t.finished]
@@ -123,10 +201,13 @@ def run_workload(
         wall_time_s=time.perf_counter() - wall_start,
         trace=trace,
     )
+    meta = dict(workload.meta)
+    if governor is not None:
+        meta["fault_stats"] = governor.stats.as_dict()
     return RunResult(
         scheduler=cfg.scheduler,
         engine=cfg.engine,
-        records=build_records(pairs),
+        records=build_records(pairs, faults=governor),
         sim_time=sim.now,
         busy_time=machine.busy_time,
         n_cores=machine.n_cores,
@@ -134,7 +215,7 @@ def run_workload(
         slice_timeline=list(sfs.monitor.timeline) if sfs else None,
         queue_delay_samples=sfs.delay_samples() if sfs else None,
         overhead=sfs.overhead if sfs else None,
-        meta=dict(workload.meta),
+        meta=meta,
         manifest=manifest,
     )
 

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.predictor import DurationPredictor
 from repro.faas.openlambda import OpenLambdaConfig, OpenLambdaPlatform
+from repro.faults.runtime import FaultRuntime
 from repro.metrics.collector import RunResult, build_records
 from repro.sim.engine import Simulator
 from repro.sim.task import Task
@@ -62,10 +63,39 @@ class FaaSCluster:
     def __init__(self, sim: Simulator, config: ClusterConfig):
         self.sim = sim
         self.config = config
-        self.hosts: List[OpenLambdaPlatform] = [
-            OpenLambdaPlatform(sim, replace(config.host, seed=config.host.seed + i))
-            for i in range(config.n_hosts)
-        ]
+        plan = config.host.faults
+        #: one shared governor for the whole cluster (or None): retry
+        #: routing must go back through placement, not pin to a host
+        self.faults: Optional[FaultRuntime] = (
+            FaultRuntime(
+                sim, plan=plan, retry=config.host.retry,
+                admission=config.host.admission, timeout=config.host.timeout,
+            )
+            if config.host.fault_handling
+            else None
+        )
+        self.hosts: List[OpenLambdaPlatform] = []
+        for i in range(config.n_hosts):
+            host_cfg = replace(config.host, seed=config.host.seed + i)
+            if plan is not None:
+                speed = plan.straggler_speed(i)
+                if speed != 1.0:
+                    host_cfg = replace(
+                        host_cfg, machine=replace(host_cfg.machine, speed=speed)
+                    )
+            self.hosts.append(OpenLambdaPlatform(sim, host_cfg, faults=self.faults))
+        self._alive: List[bool] = [True] * config.n_hosts
+        if self.faults is not None:
+            self.faults.retry_router = self._redispatch
+            if plan is not None:
+                for host, down_at, up_at in plan.host_failures:
+                    if host >= config.n_hosts:
+                        raise ValueError(
+                            f"host failure targets host {host} but the "
+                            f"cluster has {config.n_hosts} hosts"
+                        )
+                    sim.schedule_at(down_at, self._host_down, host)
+                    sim.schedule_at(up_at, self._host_up, host)
         self._rr = 0
         self.predictor = DurationPredictor()
         #: per-host outstanding predicted CPU work (us) — an estimator:
@@ -87,12 +117,32 @@ class FaaSCluster:
         self._work[idx] += self.predictor.predict(spec.name or spec.app)
         self.hosts[idx].invoke(spec)
 
+    def _redispatch(self, spec: RequestSpec) -> None:
+        """Retry routing: place the attempt fresh (a failed host must
+        not get its own retries back while it is down)."""
+        idx = self._place(spec)
+        self._work[idx] += self.predictor.predict(spec.name or spec.app)
+        self.hosts[idx].retry_entry(spec)
+
+    def _host_down(self, idx: int) -> None:
+        self._alive[idx] = False
+        self.faults.note_host_down(idx)
+        self.hosts[idx].fail_host()
+
+    def _host_up(self, idx: int) -> None:
+        self._alive[idx] = True
+        self.faults.note_host_up(idx)
+        self.hosts[idx].recover_host()
+
     def _place(self, spec: RequestSpec) -> int:
         policy = self.config.placement
         if policy == "round_robin":
-            idx = self._rr % len(self.hosts)
-            self._rr += 1
-            return idx
+            for _ in range(len(self.hosts)):
+                idx = self._rr % len(self.hosts)
+                self._rr += 1
+                if self._alive[idx]:
+                    return idx
+            return idx  # every host down: park it on the last candidate
         if policy == "least_loaded":
             return self._argmin(lambda i: self.hosts[i].outstanding)
         if policy == "least_work":
@@ -104,15 +154,23 @@ class FaaSCluster:
         return self._argmin(lambda i: self.hosts[i].outstanding)
 
     def _argmin(self, key) -> int:
-        best, best_val = 0, None
+        """Least-``key`` *alive* host (any host when all are down —
+        the pipeline then fails the attempt at the dead host's door)."""
+        best, best_val = None, None
         for i in range(len(self.hosts)):
+            if not self._alive[i]:
+                continue
             v = key(i)
             if best_val is None or v < best_val:
                 best, best_val = i, v
-        return best
+        return best if best is not None else 0
 
     def _on_host_finish(self, idx: int, task: Task) -> None:
-        if task.cpu_time > 0:
+        if idx >= len(self.hosts):  # host vanished (defensive)
+            return
+        if task.cpu_time > 0 and not task.killed:
+            # killed attempts are truncated samples: feeding them to the
+            # predictor would bias every placement decision downward
             self.predictor.observe(task.name or task.app, task.cpu_time)
         self._work[idx] = max(0.0, self._work[idx] - task.cpu_time)
         if self.hosts[idx].outstanding == 0:
@@ -140,16 +198,19 @@ def run_cluster(workload: Workload, config: ClusterConfig) -> RunResult:
         raise RuntimeError(f"{len(unfinished)} cluster requests never finished")
     total_busy = sum(h.machine.busy_time for h in cluster.hosts)
     total_cores = sum(h.machine.n_cores for h in cluster.hosts)
+    meta = {
+        "placement": config.placement,
+        "n_hosts": config.n_hosts,
+        "placements": cluster.placements,
+    }
+    if cluster.faults is not None:
+        meta["fault_stats"] = cluster.faults.stats.as_dict()
     return RunResult(
         scheduler=f"cluster[{config.placement}]+{config.host.scheduler}",
         engine=config.host.engine,
-        records=build_records(pairs),
+        records=build_records(pairs, faults=cluster.faults),
         sim_time=sim.now,
         busy_time=total_busy,
         n_cores=total_cores,
-        meta={
-            "placement": config.placement,
-            "n_hosts": config.n_hosts,
-            "placements": cluster.placements,
-        },
+        meta=meta,
     )

@@ -1,0 +1,43 @@
+"""Deterministic fault injection and failure handling (``repro.faults``).
+
+Three layers, mirroring how real serverless stacks separate concerns:
+
+* :mod:`repro.faults.plan`    — *what goes wrong*: a frozen, seeded
+  :class:`FaultPlan` (sandbox crashes, cold-start failures, straggler
+  hosts, host fail/recover windows);
+* :mod:`repro.faults.policy`  — *what the platform does about it*:
+  :class:`RetryPolicy` (capped exponential backoff, decorrelated
+  jitter) and :class:`AdmissionControl` (queue-depth load shedding);
+* :mod:`repro.faults.runtime` — *the wiring*: a per-run
+  :class:`FaultRuntime` governor the FaaS layer consults at request
+  boundaries and which arms kill timers against the machine.
+
+Every stochastic decision is a pure function of
+``(seed, req_id, attempt)``, so a fault scenario replays bit-for-bit
+across schedulers and engines — the paired-comparison discipline the
+reproduction's figures rely on, extended to failure studies.
+"""
+
+from repro.faults.plan import NULL_PLAN, FaultPlan
+from repro.faults.policy import AdmissionControl, RetryPolicy
+from repro.faults.runtime import (
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_SHED,
+    STATUS_TIMEOUT,
+    FaultRuntime,
+    FaultStats,
+)
+
+__all__ = [
+    "FaultPlan",
+    "NULL_PLAN",
+    "RetryPolicy",
+    "AdmissionControl",
+    "FaultRuntime",
+    "FaultStats",
+    "STATUS_OK",
+    "STATUS_FAILED",
+    "STATUS_TIMEOUT",
+    "STATUS_SHED",
+]

@@ -1,0 +1,146 @@
+"""Declarative, seeded fault plans.
+
+A :class:`FaultPlan` is the *complete* description of what goes wrong
+in a run: which hosts straggle or fail outright, and with what
+probability sandboxes crash mid-execution or container provisioning
+fails.  Like a :class:`~repro.workload.spec.Workload`, the plan is
+frozen data — every stochastic decision is a pure function of
+``(plan.seed, req_id, attempt)`` via a hashed per-decision generator,
+**not** a shared sequential stream.  That discipline is what makes
+fault injection composable with the paired-comparison methodology: the
+same plan crashes the same requests at the same points under CFS and
+under SFS, regardless of how event interleavings differ between the
+two runs.
+
+Plans round-trip through JSON (``save`` / ``load``) so an experiment's
+failure scenario travels with its manifest.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+# per-decision hash salts: each (req_id, attempt) gets independent
+# streams for independent fault classes
+_SALT_CRASH = 0xC1
+_SALT_COLDSTART = 0xC2
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What goes wrong, when, deterministically.
+
+    ``stragglers`` maps host indices to a relative speed in ``(0, 1)``
+    (see :class:`repro.machine.base.MachineParams.speed`).
+    ``host_failures`` are ``(host, down_at, up_at)`` windows in absolute
+    virtual microseconds; in-flight work on the host is killed at
+    ``down_at`` and the host rejoins placement at ``up_at``.
+    """
+
+    seed: int = 0
+    #: per-attempt probability a sandbox crashes partway through
+    crash_prob: float = 0.0
+    #: per-attempt probability container provisioning fails (cold path)
+    coldstart_fail_prob: float = 0.0
+    #: ((host_index, speed), ...) — degraded hosts
+    stragglers: Tuple[Tuple[int, float], ...] = ()
+    #: ((host_index, down_at_us, up_at_us), ...) — fail/recover windows
+    host_failures: Tuple[Tuple[int, int, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.crash_prob <= 1.0):
+            raise ValueError("crash_prob must be in [0, 1]")
+        if not (0.0 <= self.coldstart_fail_prob <= 1.0):
+            raise ValueError("coldstart_fail_prob must be in [0, 1]")
+        # normalise nested JSON lists into hashable tuples
+        object.__setattr__(
+            self, "stragglers",
+            tuple((int(h), float(s)) for h, s in self.stragglers),
+        )
+        object.__setattr__(
+            self, "host_failures",
+            tuple((int(h), int(d), int(u)) for h, d, u in self.host_failures),
+        )
+        for host, speed in self.stragglers:
+            if host < 0:
+                raise ValueError("straggler host index must be >= 0")
+            if not (0.0 < speed <= 1.0):
+                raise ValueError(f"straggler speed {speed} not in (0, 1]")
+        for host, down_at, up_at in self.host_failures:
+            if host < 0:
+                raise ValueError("failed host index must be >= 0")
+            if not (0 <= down_at < up_at):
+                raise ValueError("host failure needs 0 <= down_at < up_at")
+
+    # ------------------------------------------------------------------
+    # stochastic decisions (hashed, interleaving-independent)
+    # ------------------------------------------------------------------
+    @property
+    def is_null(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return (
+            self.crash_prob == 0.0
+            and self.coldstart_fail_prob == 0.0
+            and not self.stragglers
+            and not self.host_failures
+        )
+
+    def crashes(self, req_id: int, attempt: int) -> Optional[float]:
+        """Crash point for this attempt as a fraction of its ideal
+        duration in ``(0, 1)``, or None if the attempt survives.
+
+        Pure function of ``(seed, req_id, attempt)``: no generator is
+        shared across calls, so the decision is identical no matter how
+        the surrounding simulation interleaves.
+        """
+        if self.crash_prob == 0.0:
+            return None
+        rng = np.random.default_rng((self.seed, req_id, attempt, _SALT_CRASH))
+        if rng.random() >= self.crash_prob:
+            return None
+        # strictly interior crash point: the sandbox did some work
+        return 0.05 + 0.9 * rng.random()
+
+    def coldstart_fails(self, req_id: int, attempt: int) -> bool:
+        """Does container provisioning fail for this attempt?"""
+        if self.coldstart_fail_prob == 0.0:
+            return False
+        rng = np.random.default_rng((self.seed, req_id, attempt, _SALT_COLDSTART))
+        return bool(rng.random() < self.coldstart_fail_prob)
+
+    def straggler_speed(self, host: int) -> float:
+        """Relative speed of ``host`` (1.0 when not a straggler)."""
+        for idx, speed in self.stragglers:
+            if idx == host:
+                return speed
+        return 1.0
+
+    # ------------------------------------------------------------------
+    # serialisation
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, data: dict) -> "FaultPlan":
+        known = {f for f in cls.__dataclass_fields__}  # type: ignore[attr-defined]
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown FaultPlan fields: {sorted(unknown)}")
+        return cls(**data)
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(json.dumps(self.to_json(), indent=2) + "\n")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "FaultPlan":
+        return cls.from_json(json.loads(Path(path).read_text()))
+
+
+#: the do-nothing plan (shared, immutable)
+NULL_PLAN = FaultPlan()

@@ -1,0 +1,80 @@
+"""Failure-handling policies: retries and admission control.
+
+Both policies are frozen declarative data with pure decision functions,
+mirroring :class:`repro.faults.plan.FaultPlan`: a retry delay is a
+function of ``(seed, req_id, attempt)`` alone, so two runs that retry
+the same request the same number of times back off identically even
+when everything else about the runs differs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+_SALT_BACKOFF = 0xB0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with decorrelated jitter.
+
+    The jitter rule is the AWS "decorrelated" variant:
+    ``sleep_i = min(cap, uniform(base, 3 * sleep_{i-1}))`` with
+    ``sleep_0 = base`` — it spreads retry storms while keeping the
+    expected growth exponential.  The recurrence is re-derived from the
+    hashed per-attempt generators on every call, which keeps the delay
+    a pure function of the inputs (no mutable state to desynchronise).
+    """
+
+    #: total tries, including the first (1 = never retry)
+    max_attempts: int = 3
+    #: first backoff, us
+    base_backoff: int = 10_000
+    #: backoff cap, us
+    max_backoff: int = 1_000_000
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_backoff < 1:
+            raise ValueError("base_backoff must be >= 1 us")
+        if self.max_backoff < self.base_backoff:
+            raise ValueError("max_backoff must be >= base_backoff")
+
+    def allows(self, attempt: int) -> bool:
+        """May a request that just failed attempt ``attempt`` try again?"""
+        return attempt < self.max_attempts
+
+    def backoff(self, req_id: int, attempt: int) -> int:
+        """Delay (us) before the retry that follows failed ``attempt``."""
+        sleep = float(self.base_backoff)
+        for i in range(1, attempt + 1):
+            rng = np.random.default_rng((self.seed, req_id, i, _SALT_BACKOFF))
+            sleep = min(float(self.max_backoff),
+                        rng.uniform(self.base_backoff, sleep * 3.0))
+        return max(1, int(sleep))
+
+
+@dataclass(frozen=True)
+class AdmissionControl:
+    """Queue-depth load shedding at the front door.
+
+    A request arriving while ``outstanding`` (admitted but unfinished
+    requests) is at or above the watermark is rejected immediately —
+    the serverless gateway returning 429 rather than letting an
+    overload collapse tail latency for everyone already admitted.
+    Retries of admitted requests are *not* re-subjected to admission.
+    """
+
+    #: shed arrivals once this many requests are in flight
+    max_outstanding: int = 256
+
+    def __post_init__(self) -> None:
+        if self.max_outstanding < 1:
+            raise ValueError("max_outstanding must be >= 1")
+
+    def admits(self, outstanding: int) -> bool:
+        return outstanding < self.max_outstanding

@@ -44,6 +44,11 @@ class MachineParams:
     cfs: CfsParams = field(default_factory=CfsParams)
     rr_quantum: int = DEFAULT_RR_QUANTUM
     ctx_switch_cost: int = 0
+    #: relative CPU speed of this host (1.0 = nominal).  A straggler
+    #: host (thermal throttling, noisy neighbour, degraded clock) runs
+    #: at speed < 1: every CPU burst takes ``1/speed`` x as long in
+    #: wall time.  Injected per host by :mod:`repro.faults`.
+    speed: float = 1.0
     #: which fair class SCHED_NORMAL maps to: "cfs" (pre-6.6 Linux, the
     #: paper's testbed) or "eevdf" (6.6+) — discrete engine only.
     fair_class: str = "cfs"
@@ -62,6 +67,8 @@ class MachineParams:
             raise ValueError("rr_quantum must be positive")
         if self.ctx_switch_cost < 0:
             raise ValueError("ctx_switch_cost must be >= 0")
+        if not (0.0 < self.speed <= 1.0):
+            raise ValueError("speed must be in (0, 1] (1.0 = nominal)")
         if self.fair_class not in ("cfs", "eevdf"):
             raise ValueError(f"unknown fair_class {self.fair_class!r}")
         if self.rt_bandwidth is not None:
@@ -106,6 +113,27 @@ class MachineBase:
     def on_finish(self, callback: FinishCallback) -> None:
         """Register a process-exit observer (``waitpid`` semantics)."""
         self._finish_callbacks.append(callback)
+
+    def kill(self, task: Task, reason: str = "crash") -> bool:
+        """``SIGKILL``: forcibly terminate a live task.
+
+        Used by the fault injector (sandbox crash, request timeout, host
+        failure).  The task is charged for the CPU service it received,
+        removed from every queue, marked ``killed`` with ``reason`` and
+        reported through the normal ``on_finish`` path — user space
+        (FaaS server, SFS) observes an ordinary process exit, exactly as
+        ``waitpid`` would report a signalled child.  Returns False when
+        the task had already finished (kill raced with completion).
+        """
+        raise NotImplementedError
+
+    def _finish_killed(self, task: Task, reason: str) -> None:
+        """Shared kill epilogue: mark the exit and notify user space."""
+        task.killed = True
+        task.kill_reason = reason
+        task.state = TaskState.FINISHED
+        task.finish_time = self.sim.now
+        self._notify_finish(task)
 
     # ------------------------------------------------------------------
     # introspection used by tests and metrics

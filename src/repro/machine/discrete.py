@@ -14,6 +14,7 @@ against it and used for the large experiments.
 
 from __future__ import annotations
 
+import math
 from typing import List, Optional
 
 from repro.machine.base import MachineBase, MachineParams
@@ -78,6 +79,9 @@ class DiscreteMachine(MachineBase):
             _Core(i, make_rq()) for i in range(self.n_cores)
         ]
         self.rt_rq = RTRunqueue()
+        #: straggler speed factor; the == 1.0 guard keeps the nominal
+        #: path on exact integer arithmetic (bit-identical runs)
+        self._speed = self.params.speed
 
     # ==================================================================
     # public API
@@ -94,7 +98,9 @@ class DiscreteMachine(MachineBase):
             task.state = TaskState.BLOCKED
             if self._trace_on:
                 self._trace.emit(self.sim.now, tev.TASK_BLOCK, task.tid)
-            self.sim.schedule(first.duration, self._on_io_done, task, first.duration)
+            task._io_handle = self.sim.schedule(  # type: ignore[attr-defined]
+                first.duration, self._on_io_done, task, first.duration
+            )
         else:
             self._make_ready(task)
             self._enqueue_ready(task, wakeup=False)
@@ -145,6 +151,36 @@ class DiscreteMachine(MachineBase):
         else:  # CREATED / BLOCKED: takes effect at wake
             task.rt_priority = rt_priority
             task.record_policy_change(self.sim.now, policy)
+
+    def kill(self, task: Task, reason: str = "crash") -> bool:
+        if task.state is TaskState.FINISHED:
+            return False
+        if task.state is TaskState.RUNNING:
+            core = self.cores[task._run_core]  # type: ignore[attr-defined]
+            assert core.task is task
+            self._charge(core)
+            core.cancel_timers()
+            if self._trace_on:
+                self._trace.emit(self.sim.now, tev.TASK_DESCHEDULE, task.tid,
+                                 core.index, (tev.DESCHED_KILL,))
+            core.task = None
+            # schedule the core before notifying user space (see
+            # _complete_burst): the finish callback may re-enter
+            self._pick_next(core)
+            self._finish_killed(task, reason)
+            return True
+        if task.state is TaskState.READY:
+            if task.is_rt:
+                self.rt_rq.remove(task)
+            else:
+                self.cores[task._rq_core].rq.dequeue(task)  # type: ignore[attr-defined]
+        elif task.state is TaskState.BLOCKED:
+            handle = getattr(task, "_io_handle", None)
+            if handle is not None:
+                handle.cancel()
+                task._io_handle = None  # type: ignore[attr-defined]
+        self._finish_killed(task, reason)
+        return True
 
     def idle_cores(self) -> int:
         return sum(1 for c in self.cores if c.task is None)
@@ -345,7 +381,7 @@ class DiscreteMachine(MachineBase):
         core.last_tid = task.tid
         core.run_start = now + cost
         core.completion_handle = self.sim.schedule(
-            cost + task.burst_remaining, self._on_completion, core, task
+            cost + self._wall(task.burst_remaining), self._on_completion, core, task
         )
         if task.policy is SchedPolicy.CFS:
             core.slice_handle = self.sim.schedule(
@@ -364,14 +400,31 @@ class DiscreteMachine(MachineBase):
                     cost + budget, self._on_rt_throttle, core, task
                 )
 
+    def _wall(self, service: int) -> int:
+        """Wall-clock microseconds a straggler core needs for ``service``
+        CPU microseconds (identity at nominal speed)."""
+        if self._speed == 1.0:
+            return service
+        return int(math.ceil(service / self._speed))
+
     def _charge(self, core: _Core) -> None:
         task = core.task
         assert task is not None
         # run_start may sit in the future while the switch cost is paid
         elapsed = max(0, self.sim.now - core.run_start)
         if elapsed > 0:
-            task.consume_cpu(elapsed)
-            self.busy_time += elapsed
+            if self._speed == 1.0:
+                served = elapsed
+            else:
+                # A straggler converts wall time to service at rate
+                # `speed`; the fractional residue is carried per task so
+                # repeated charges never under-account and the burst is
+                # exactly exhausted at its completion event.
+                credit = elapsed * self._speed + getattr(task, "_svc_residue", 0.0)
+                served = min(int(credit), task.burst_remaining)
+                task._svc_residue = credit - served  # type: ignore[attr-defined]
+            task.consume_cpu(served)
+            self.busy_time += elapsed  # the core was occupied for the wall time
             if task.policy is SchedPolicy.CFS:
                 core.rq.update_curr(task.vruntime)
             elif self.params.rt_bandwidth is not None:
@@ -462,12 +515,14 @@ class DiscreteMachine(MachineBase):
             core.task = None
             if self._trace_on:
                 self._trace.emit(self.sim.now, tev.TASK_BLOCK, task.tid)
-            self.sim.schedule(nxt.duration, self._on_io_done, task, nxt.duration)
+            task._io_handle = self.sim.schedule(  # type: ignore[attr-defined]
+                nxt.duration, self._on_io_done, task, nxt.duration
+            )
             self._pick_next(core)
         else:  # back-to-back CPU burst: keep the core, restart timers
             core.run_start = self.sim.now
             core.completion_handle = self.sim.schedule(
-                task.burst_remaining, self._on_completion, core, task
+                self._wall(task.burst_remaining), self._on_completion, core, task
             )
             if task.policy is SchedPolicy.CFS:
                 core.slice_handle = self.sim.schedule(
@@ -479,6 +534,7 @@ class DiscreteMachine(MachineBase):
                 )
 
     def _on_io_done(self, task: Task, duration: int) -> None:
+        task._io_handle = None  # type: ignore[attr-defined]
         nxt = task.complete_io()
         if nxt is None:
             task.state = TaskState.FINISHED

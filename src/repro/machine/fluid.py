@@ -47,6 +47,9 @@ class FluidMachine(MachineBase):
         super().__init__(sim, params)
         #: treat SCHED_RR as sharing with quantum-sized slices (see module doc)
         self.rr_as_sharing = rr_as_sharing
+        #: straggler speed factor; the == 1.0 guard keeps the nominal
+        #: path on exact integer arithmetic (bit-identical runs)
+        self._speed = self.params.speed
         # --- CFS/RR fluid pool ---
         self._pool: dict[int, Task] = {}           # tid -> task
         self._heap: list[tuple[float, int, Task]] = []  # (target credit, seq, task)
@@ -79,7 +82,9 @@ class FluidMachine(MachineBase):
             task.state = TaskState.BLOCKED
             if self._trace_on:
                 self._trace.emit(self.sim.now, tev.TASK_BLOCK, task.tid)
-            self.sim.schedule(first.duration, self._on_io_done, task, first.duration)
+            task._io_handle = self.sim.schedule(  # type: ignore[attr-defined]
+                first.duration, self._on_io_done, task, first.duration
+            )
         else:
             self._enqueue_ready(task)
 
@@ -116,6 +121,24 @@ class FluidMachine(MachineBase):
         self._enqueue_ready(task)
         self._dispatch_rt()
 
+    def kill(self, task: Task, reason: str = "crash") -> bool:
+        if task.state is TaskState.FINISHED:
+            return False
+        if task.tid in self._pool:
+            self._leave_pool(task, completing=False)
+        elif task.tid in self._rt_running:
+            self._stop_rt(task, involuntary=False, reason=tev.DESCHED_KILL)
+        elif task.state is TaskState.READY and self._is_dedicated(task.policy):
+            self.rt_wait.remove(task)
+        elif task.state is TaskState.BLOCKED:
+            handle = getattr(task, "_io_handle", None)
+            if handle is not None:
+                handle.cancel()
+                task._io_handle = None  # type: ignore[attr-defined]
+        self._finish_killed(task, reason)
+        self._dispatch_rt()  # a freed core may admit waiting RT work
+        return True
+
     def idle_cores(self) -> int:
         free = self.n_cores - len(self._rt_running)
         return max(0, free - len(self._pool))
@@ -149,7 +172,7 @@ class FluidMachine(MachineBase):
         n = len(self._pool)
         if n == 0:
             return 0.0
-        raw = min(1.0, self._free_cores() / n)
+        raw = min(1.0, self._free_cores() / n) * self._speed
         cost = self.params.ctx_switch_cost
         if cost > 0 and raw > 0:
             # each slice of useful work pays one switch: the pool's
@@ -329,8 +352,11 @@ class FluidMachine(MachineBase):
             task.first_run_time = self.sim.now
         task.state = TaskState.RUNNING
         task._rt_start = self.sim.now  # type: ignore[attr-defined]
+        wall = task.burst_remaining
+        if self._speed != 1.0:  # straggler: the core serves CPU us slower
+            wall = int(math.ceil(wall / self._speed))
         task._rt_end_handle = self.sim.schedule(  # type: ignore[attr-defined]
-            task.burst_remaining, self._on_rt_completion, task
+            wall, self._on_rt_completion, task
         )
         self._rt_running[task.tid] = task
         if self._trace_on:
@@ -349,6 +375,8 @@ class FluidMachine(MachineBase):
             handle.cancel()
             task._rt_end_handle = None  # type: ignore[attr-defined]
         served = self.sim.now - task._rt_start  # type: ignore[attr-defined]
+        if self._speed != 1.0:
+            served = int(served * self._speed)
         served = min(served, task.burst_remaining)
         task.consume_cpu(served)
         del self._rt_running[task.tid]
@@ -393,13 +421,16 @@ class FluidMachine(MachineBase):
             task.ctx_voluntary += 1
             if self._trace_on:
                 self._trace.emit(self.sim.now, tev.TASK_BLOCK, task.tid)
-            self.sim.schedule(nxt.duration, self._on_io_done, task, nxt.duration)
+            task._io_handle = self.sim.schedule(  # type: ignore[attr-defined]
+                nxt.duration, self._on_io_done, task, nxt.duration
+            )
         else:  # consecutive CPU burst: continue under the current policy
             task.state = TaskState.READY
             task._ready_since = self.sim.now  # type: ignore[attr-defined]
             self._enqueue_ready(task)
 
     def _on_io_done(self, task: Task, duration: int) -> None:
+        task._io_handle = None  # type: ignore[attr-defined]
         nxt = task.complete_io()
         if nxt is None:
             task.state = TaskState.FINISHED

@@ -2,6 +2,12 @@
 
 from repro.metrics.billing import BillingModel, overcharge_report
 from repro.metrics.collector import RequestRecord, RunResult, build_records
+from repro.metrics.faults import (
+    FaultSummary,
+    fault_summary,
+    goodput_report,
+    summarize_faults,
+)
 from repro.metrics.rte import rte, rte_normalized
 from repro.metrics.slo import SLO, slo_report, stretch
 from repro.metrics.stats import ecdf, fraction_below, percentile, percentiles
@@ -10,6 +16,10 @@ __all__ = [
     "RequestRecord",
     "RunResult",
     "build_records",
+    "FaultSummary",
+    "fault_summary",
+    "summarize_faults",
+    "goodput_report",
     "rte",
     "rte_normalized",
     "SLO",

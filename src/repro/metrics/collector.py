@@ -37,6 +37,15 @@ class RequestRecord:
     bypassed: bool          # overload detector left it in CFS
     demoted: bool           # FILTER slice expired
     slice_granted: Optional[int]  # S at first FILTER promotion
+    #: terminal outcome: "ok" | "failed" | "timeout" | "shed"
+    status: str = "ok"
+    #: attempts started (0 = shed before any attempt)
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        """Did the request produce a useful response?"""
+        return self.status == "ok"
 
     @property
     def turnaround(self) -> int:
@@ -65,33 +74,83 @@ class RequestRecord:
         return self.ctx_involuntary + self.ctx_voluntary
 
 
-def build_records(pairs: Sequence[Tuple[RequestSpec, Task]]) -> List[RequestRecord]:
-    """Turn (spec, finished task) pairs into records."""
-    records = []
-    for spec, task in pairs:
+def build_records(
+    pairs: Sequence[Tuple[RequestSpec, Task]],
+    faults: Optional[object] = None,
+) -> List[RequestRecord]:
+    """Turn (spec, finished task) pairs into records.
+
+    ``faults`` is the run's :class:`repro.faults.runtime.FaultRuntime`
+    (or None for a nominal run).  Under faults a request may appear in
+    ``pairs`` several times — once per attempt that reached ``spawn`` —
+    and only the *last* attempt describes the request's outcome; the
+    governor additionally knows about requests that never produced a
+    task at all (shed at admission, or every attempt died before
+    provisioning finished), which get synthesised zero-work records so
+    failure accounting sees every arrival exactly once.
+    """
+    if faults is None:
+        return [_record(spec, task) for spec, task in pairs]
+    last: Dict[int, Tuple[RequestSpec, Task]] = {}
+    for spec, task in pairs:  # chronological: later attempts overwrite
         if not task.finished:
             raise RuntimeError(f"request {spec.req_id} never finished")
+        last[spec.req_id] = (spec, task)
+    records = []
+    for req_id in sorted(last):
+        spec, task = last[req_id]
+        status, attempts = faults.status_of(req_id)
+        records.append(_record(spec, task, status=status, attempts=attempts))
+    for spec, status, attempts, end_ts in faults.orphans(set(last)):
         records.append(
             RequestRecord(
                 req_id=spec.req_id,
                 name=spec.name,
                 app=spec.app,
                 arrival=spec.arrival,
-                dispatch=task.dispatch_time,
-                finish=task.finish_time,
-                cpu_demand=task.cpu_demand,
-                io_demand=task.io_demand,
-                cpu_time=task.cpu_time,
-                wait_time=task.wait_time,
-                ctx_involuntary=task.ctx_involuntary,
-                ctx_voluntary=task.ctx_voluntary,
-                migrations=task.migrations,
-                bypassed=task.sfs_bypassed,
-                demoted=task.sfs_demoted,
-                slice_granted=task.sfs_slice_granted,
+                dispatch=end_ts,  # never spawned: zero turnaround
+                finish=end_ts,
+                cpu_demand=spec.cpu_demand,
+                io_demand=spec.io_demand,
+                cpu_time=0,
+                wait_time=0,
+                ctx_involuntary=0,
+                ctx_voluntary=0,
+                migrations=0,
+                bypassed=False,
+                demoted=False,
+                slice_granted=None,
+                status=status,
+                attempts=attempts,
             )
         )
     return records
+
+
+def _record(spec: RequestSpec, task: Task, status: str = "ok",
+            attempts: int = 1) -> RequestRecord:
+    if not task.finished:
+        raise RuntimeError(f"request {spec.req_id} never finished")
+    return RequestRecord(
+        req_id=spec.req_id,
+        name=spec.name,
+        app=spec.app,
+        arrival=spec.arrival,
+        dispatch=task.dispatch_time,
+        finish=task.finish_time,
+        cpu_demand=task.cpu_demand,
+        io_demand=task.io_demand,
+        cpu_time=task.cpu_time,
+        wait_time=task.wait_time,
+        ctx_involuntary=task.ctx_involuntary,
+        ctx_voluntary=task.ctx_voluntary,
+        migrations=task.migrations,
+        bypassed=task.sfs_bypassed,
+        demoted=task.sfs_demoted,
+        slice_granted=task.sfs_slice_granted,
+        status=status,
+        attempts=attempts,
+    )
 
 
 @dataclass

@@ -1,0 +1,105 @@
+"""Failure-aware run accounting (``repro.faults`` companion).
+
+Under fault injection, raw throughput stops being the honest metric: a
+run that completes many requests by burning half its capacity on
+retries and abandoning the rest is *worse* than its request rate
+suggests.  This module separates the quantities:
+
+* **throughput** — requests leaving the system per second, any outcome;
+* **goodput**    — requests producing a *useful response* per second
+  (``status == "ok"`` only);
+* **retry amplification** — extra attempts the platform paid per
+  arriving request;
+* terminal-outcome rates (failed / timeout / shed).
+
+Everything derives from :class:`repro.metrics.collector.RequestRecord`
+``status`` / ``attempts`` fields, so nominal runs summarise too (100 %
+goodput, zero retries) and comparison tables stay uniform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from repro.metrics.collector import RequestRecord, RunResult
+from repro.sim.units import SEC
+
+
+@dataclass(frozen=True)
+class FaultSummary:
+    """Outcome accounting for one run."""
+
+    total: int          # every arriving request, any outcome
+    ok: int
+    failed: int         # retries exhausted (crash / host loss)
+    timeout: int        # deadline expired
+    shed: int           # rejected at admission
+    attempts: int       # attempts started across all requests
+    throughput_rps: float
+    goodput_rps: float
+
+    @property
+    def goodput_fraction(self) -> float:
+        """ok / total — the honest success rate."""
+        return self.ok / self.total if self.total else 0.0
+
+    @property
+    def retries_per_request(self) -> float:
+        """Extra attempts paid per arriving request (0 = no retries)."""
+        if self.total == 0:
+            return 0.0
+        retried = self.attempts - (self.total - self.shed)
+        return max(0, retried) / self.total
+
+    @property
+    def abandonment_rate(self) -> float:
+        """Requests that died without a response (failed + timeout)."""
+        return (self.failed + self.timeout) / self.total if self.total else 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.total if self.total else 0.0
+
+
+def summarize_faults(
+    records: Iterable[RequestRecord], sim_time: int
+) -> FaultSummary:
+    """Aggregate outcome counters over ``records`` (``sim_time`` in us)."""
+    counts = {"ok": 0, "failed": 0, "timeout": 0, "shed": 0}
+    attempts = 0
+    total = 0
+    for r in records:
+        total += 1
+        attempts += r.attempts
+        counts[r.status] = counts.get(r.status, 0) + 1
+    seconds = sim_time / SEC if sim_time > 0 else 0.0
+    finished = total - counts["shed"]
+    return FaultSummary(
+        total=total,
+        ok=counts["ok"],
+        failed=counts["failed"],
+        timeout=counts["timeout"],
+        shed=counts["shed"],
+        attempts=attempts,
+        throughput_rps=finished / seconds if seconds else 0.0,
+        goodput_rps=counts["ok"] / seconds if seconds else 0.0,
+    )
+
+
+def fault_summary(result: RunResult) -> FaultSummary:
+    """Convenience: summarise a whole :class:`RunResult`."""
+    return summarize_faults(result.records, result.sim_time)
+
+
+def goodput_report(runs: Dict[str, RunResult]) -> List[tuple]:
+    """Rows of (run name, goodput rps, throughput rps, goodput fraction,
+    retries/req, shed rate) for a comparison table."""
+    rows = []
+    for name, run in runs.items():
+        s = fault_summary(run)
+        rows.append((
+            name, s.goodput_rps, s.throughput_rps, s.goodput_fraction,
+            s.retries_per_request, s.shed_rate,
+        ))
+    return rows

@@ -51,9 +51,21 @@ class SLO:
             raise ValueError("bound must be >= 1 (stretch cannot beat isolation)")
 
     def attainment(self, records: Iterable[RequestRecord]) -> float:
-        """Fraction of requests meeting the bound (target: >= quantile)."""
-        s = stretch(records)
-        return float((s <= self.bound).mean())
+        """Fraction of requests meeting the bound (target: >= quantile).
+
+        A request that never produced a useful response (crashed out of
+        retries, timed out, shed at admission) can never meet a latency
+        SLO, whatever its nominal stretch: failures count as misses
+        against the *full* request population.
+        """
+        records = list(records)
+        if not records:
+            raise ValueError("no records")
+        ok = [r for r in records if r.ok]
+        if not ok:
+            return 0.0
+        s = stretch(ok)
+        return float((s <= self.bound).sum()) / len(records)
 
     def satisfied(self, records: Iterable[RequestRecord]) -> bool:
         return self.attainment(records) >= self.quantile

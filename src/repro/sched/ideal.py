@@ -33,10 +33,23 @@ class IdealMachine(MachineBase):
         task.first_run_time = self.sim.now
         self._active += 1
         self.peak_parallelism = max(self.peak_parallelism, self._active)
-        self.sim.schedule(task.ideal_duration, self._on_done, task)
+        task._done_handle = self.sim.schedule(  # type: ignore[attr-defined]
+            task.ideal_duration, self._on_done, task
+        )
 
     def set_policy(self, task: Task, policy: SchedPolicy, rt_priority: int = 1) -> None:
         """No contention, so policies are irrelevant."""
+
+    def kill(self, task: Task, reason: str = "crash") -> bool:
+        if task.state is TaskState.FINISHED:
+            return False
+        handle = getattr(task, "_done_handle", None)
+        if handle is not None:
+            handle.cancel()
+            task._done_handle = None  # type: ignore[attr-defined]
+        self._active -= 1
+        self._finish_killed(task, reason)
+        return True
 
     def idle_cores(self) -> int:  # pragma: no cover - infinite machine
         return 0
@@ -45,6 +58,7 @@ class IdealMachine(MachineBase):
         return 0
 
     def _on_done(self, task: Task) -> None:
+        task._done_handle = None  # type: ignore[attr-defined]
         # charge each burst in order so accounting matches other engines
         while True:
             burst = task.current_burst

@@ -41,13 +41,38 @@ class SRTFMachine(MachineBase):
         assert first is not None
         if first.kind is BurstKind.IO:
             task.state = TaskState.BLOCKED
-            self.sim.schedule(first.duration, self._on_io_done, task, first.duration)
+            task._io_handle = self.sim.schedule(  # type: ignore[attr-defined]
+                first.duration, self._on_io_done, task, first.duration
+            )
         else:
             self._make_ready(task)
             self._admit(task)
 
     def set_policy(self, task: Task, policy: SchedPolicy, rt_priority: int = 1) -> None:
         """The oracle ignores policy hints."""
+
+    def kill(self, task: Task, reason: str = "crash") -> bool:
+        if task.state is TaskState.FINISHED:
+            return False
+        if task.tid in self._running:
+            handle: Optional[EventHandle] = getattr(task, "_end_handle", None)
+            if handle is not None:
+                handle.cancel()
+                task._end_handle = None  # type: ignore[attr-defined]
+            served = min(self.sim.now - task._run_start,  # type: ignore[attr-defined]
+                         task.burst_remaining)
+            task.consume_cpu(served)
+            self.busy_time += served
+            del self._running[task.tid]
+        elif task.state is TaskState.BLOCKED:
+            io_handle = getattr(task, "_io_handle", None)
+            if io_handle is not None:
+                io_handle.cancel()
+                task._io_handle = None  # type: ignore[attr-defined]
+        # READY tasks: the heap entry goes stale and _scrub drops it
+        self._finish_killed(task, reason)
+        self._fill_cores()
+        return True
 
     def idle_cores(self) -> int:
         return self.n_cores - len(self._running)
@@ -136,13 +161,16 @@ class SRTFMachine(MachineBase):
         elif nxt.kind is BurstKind.IO:
             task.state = TaskState.BLOCKED
             task.ctx_voluntary += 1
-            self.sim.schedule(nxt.duration, self._on_io_done, task, nxt.duration)
+            task._io_handle = self.sim.schedule(  # type: ignore[attr-defined]
+                nxt.duration, self._on_io_done, task, nxt.duration
+            )
         else:
             self._make_ready(task)
             self._admit(task)
         self._fill_cores()
 
     def _on_io_done(self, task: Task, duration: int) -> None:
+        task._io_handle = None  # type: ignore[attr-defined]
         nxt = task.complete_io()
         if nxt is None:
             task.state = TaskState.FINISHED

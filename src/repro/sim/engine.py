@@ -132,6 +132,11 @@ class Simulator:
 
         When ``until`` is given the clock is advanced to exactly
         ``until`` even if the last event fired earlier.
+
+        ``max_events`` is a runaway guard, not a pause button: if the
+        budget is exhausted while live events are still pending, the run
+        did *not* complete and a :class:`SimulationError` is raised so
+        truncated results can never be mistaken for finished ones.
         """
         if self._running:
             raise SimulationError("Simulator.run is not reentrant")
@@ -145,7 +150,10 @@ class Simulator:
                 if until is not None and nxt > until:
                     break
                 if max_events is not None and executed >= max_events:
-                    break
+                    raise SimulationError(
+                        f"event budget exhausted: {max_events} events executed "
+                        f"with {self.pending} still pending at t={self.now}"
+                    )
                 self.step()
                 executed += 1
         finally:

@@ -108,6 +108,10 @@ class Task:
     sfs_slice_granted: Optional[int] = None  # S at first FILTER promotion
     sfs_slice_left: Optional[int] = None     # remaining FILTER slice budget
 
+    # --- fault accounting (written by repro.faults, read by metrics) ---
+    killed: bool = False                     # terminated by machine.kill
+    kill_reason: Optional[str] = None        # "crash" | "timeout" | "host"
+
     def __post_init__(self) -> None:
         if not self.bursts:
             raise ValueError("a task needs at least one burst")

@@ -16,6 +16,10 @@ Kinds are grouped into three namespaces:
     User-space scheduler decisions, emitted by :mod:`repro.core`:
     queue entries and their single outcome (promote / bypass / watch /
     skip), FILTER demotions, slice recomputations.
+``fault.*`` / ``retry.*`` / ``shed.*``
+    Fault-injection and failure-handling lifecycle, emitted by
+    :mod:`repro.faults`: crashes, cold-start failures, timeouts, host
+    state changes, retry scheduling, admission-control rejections.
 ``gauge.*``
     Periodically sampled state: runqueue depths, queue lengths,
     watch-list size, pool occupancy.
@@ -72,6 +76,17 @@ DESCHED_QUANTUM = "quantum"          # SCHED_RR quantum expired
 DESCHED_PREEMPT = "preempt"          # preempted by a higher-priority task
 DESCHED_RECLASS = "reclass"          # sched_setscheduler moved it off
 DESCHED_THROTTLE = "throttle"        # RT group bandwidth exhausted
+DESCHED_KILL = "killed"              # SIGKILL (fault injection)
+
+# --- fault injection and failure handling (repro.faults) ---------------
+FAULT_CRASH = "fault.crash"          # sandbox crashed mid-execution
+FAULT_COLDSTART = "fault.coldstart"  # container provisioning failed
+FAULT_TIMEOUT = "fault.timeout"      # request deadline expired
+FAULT_HOST_DOWN = "fault.host_down"  # host failed (core = host index)
+FAULT_HOST_UP = "fault.host_up"      # host recovered (core = host index)
+RETRY_BACKOFF = "retry.backoff"      # attempt failed; retry scheduled
+RETRY_EXHAUSTED = "retry.exhausted"  # attempts capped out; abandoned
+SHED_REQUEST = "shed.request"        # admission control rejected it
 
 # --- SFS decisions (repro.core) ---------------------------------------
 SFS_SUBMIT = "sfs.submit"            # fresh request entered the global queue
@@ -120,6 +135,14 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     SFS_WATCH: (),
     SFS_WATCH_FINISH: (),
     SFS_SLICE: ("slice",),
+    FAULT_CRASH: ("attempt",),
+    FAULT_COLDSTART: ("req_id", "attempt"),
+    FAULT_TIMEOUT: ("deadline",),
+    FAULT_HOST_DOWN: (),
+    FAULT_HOST_UP: (),
+    RETRY_BACKOFF: ("req_id", "attempt", "delay"),
+    RETRY_EXHAUSTED: ("req_id", "attempts"),
+    SHED_REQUEST: ("req_id", "depth"),
     GAUGE_RUNNABLE: ("value",),
     GAUGE_IDLE_CORES: ("value",),
     GAUGE_RUNQUEUE: ("value",),

@@ -18,7 +18,10 @@ Two renderings of the same event stream:
     block/wake/policy-change instants;
   - process **cfs pool** — async spans for time spent in the fluid
     engine's processor-sharing pool (the fluid analogue of per-core
-    residency).
+    residency);
+  - process **faults** — instant events for the fault-injection and
+    failure-handling lifecycle (crashes, cold-start failures, timeouts,
+    host down/up, retry backoff/exhaustion, admission sheds).
 
 * :func:`to_jsonl_lines` — one self-describing JSON object per line
   (manifest first), for programmatic analysis with ``jq``/pandas.
@@ -42,6 +45,7 @@ PID_MACHINE = 1
 PID_SFS = 2
 PID_REQUESTS = 3
 PID_POOL = 4
+PID_FAULTS = 5
 #: thread id of the SFS decision-instant row (after any worker row).
 SFS_QUEUE_TID = 10_000
 
@@ -64,6 +68,10 @@ _REQUEST_INSTANTS = (ev.TASK_BLOCK, ev.TASK_WAKE, ev.TASK_POLICY,
 _SFS_INSTANTS = (ev.SFS_SUBMIT, ev.SFS_RESUBMIT, ev.SFS_OVERLOAD,
                  ev.SFS_SKIP_FINISHED, ev.SFS_WATCH_AT_POP, ev.SFS_WATCH,
                  ev.SFS_WATCH_FINISH)
+
+_FAULT_INSTANTS = (ev.FAULT_CRASH, ev.FAULT_COLDSTART, ev.FAULT_TIMEOUT,
+                   ev.FAULT_HOST_DOWN, ev.FAULT_HOST_UP, ev.RETRY_BACKOFF,
+                   ev.RETRY_EXHAUSTED, ev.SHED_REQUEST)
 
 
 def _named_args(e: ev.TraceEvent) -> dict:
@@ -165,6 +173,15 @@ def to_chrome(recorder: TraceRecorder,
                 "s": "t", "ts": e.ts, "pid": PID_SFS, "tid": SFS_QUEUE_TID,
                 "args": {"tid": e.tid, **_named_args(e)},
             })
+        elif k in _FAULT_INSTANTS:
+            cat, name = k.split(".", 1)  # "fault" | "retry" | "shed"
+            args = {"tid": e.tid, **_named_args(e)}
+            if k in (ev.FAULT_HOST_DOWN, ev.FAULT_HOST_UP):
+                args = {"host": e.core}
+            out.append({
+                "name": name, "cat": cat, "ph": "i", "s": "p",
+                "ts": e.ts, "pid": PID_FAULTS, "tid": 0, "args": args,
+            })
         elif k in _COUNTER_GAUGES:
             pid, cname, series = _COUNTER_GAUGES[k]
             out.append({
@@ -203,6 +220,7 @@ def to_chrome(recorder: TraceRecorder,
     _meta(PID_SFS, "queue", tid=SFS_QUEUE_TID, what="thread_name")
     _meta(PID_REQUESTS, "requests")
     _meta(PID_POOL, "cfs pool")
+    _meta(PID_FAULTS, "faults")
 
     doc = {
         "traceEvents": meta + out,

@@ -82,11 +82,32 @@ def test_run_until_advances_clock_exactly(sim):
     assert fired == ["a", "b"]
 
 
-def test_run_max_events_budget(sim):
+def test_run_max_events_budget_raises_on_exhaustion(sim):
     fired = []
     for i in range(10):
         sim.schedule(i + 1, fired.append, i)
-    sim.run(max_events=3)
+    with pytest.raises(SimulationError, match="event budget exhausted"):
+        sim.run(max_events=3)
+    assert fired == [0, 1, 2]
+    # the error is recoverable: the loop is re-entrant after the raise
+    sim.run()
+    assert fired == list(range(10))
+
+
+def test_run_max_events_sufficient_budget_is_silent(sim):
+    fired = []
+    for i in range(5):
+        sim.schedule(i + 1, fired.append, i)
+    sim.run(max_events=5)  # exactly enough: drains without error
+    assert fired == list(range(5))
+
+
+def test_run_max_events_ignores_cancelled_events(sim):
+    fired = []
+    handles = [sim.schedule(i + 1, fired.append, i) for i in range(6)]
+    for h in handles[3:]:
+        h.cancel()
+    sim.run(max_events=3)  # the cancelled tail costs no budget
     assert fired == [0, 1, 2]
 
 
@@ -136,6 +157,31 @@ def test_cancel_releases_references(sim):
     h = sim.schedule(10, lambda o: None, obj)
     h.cancel()
     assert h.args == ()
+
+
+def test_drop_dead_compaction_keeps_pending_accurate(sim):
+    """Cancelled-head compaction must agree with the live-event count."""
+    handles = [sim.schedule(10 + i, lambda: None) for i in range(20)]
+    for h in handles[:10]:  # cancel the whole heap head
+        h.cancel()
+    assert sim.pending == 10
+    assert sim.peek_time() == 20  # triggers _drop_dead on the prefix
+    assert len(sim._heap) == 10  # dead prefix physically removed
+    assert sim.pending == 10
+    handles[15].cancel()  # a dead entry in the middle stays lazily
+    assert sim.pending == 9
+    fired = 0
+    while sim.step():
+        fired += 1
+    assert fired == 9
+    assert sim.pending == 0
+
+
+def test_pending_excludes_consumed_events(sim):
+    sim.schedule(1, lambda: None)
+    sim.schedule(2, lambda: None)
+    assert sim.step() is True
+    assert sim.pending == 1
 
 
 def test_deterministic_replay():

@@ -1,0 +1,146 @@
+"""Property-based tests: KeepAliveCache invariants under arbitrary
+acquire/release/time-advance interleavings.
+
+The cache hands containers to requests (``acquire``), takes them back
+warm (``release``) and silently expires idle ones after the TTL.  Two
+invariants must hold whatever the interleaving:
+
+* an *acquired* container can never be expired out from under its
+  request — acquire cancels the pending expiry, so the TTL timer of a
+  container that went back into use must never fire;
+* ``warm_count`` always equals the model count: warm containers are
+  exactly those released, not re-acquired, not yet expired, and under
+  the per-app cap.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faas.coldstart import ColdStartConfig, KeepAliveCache
+from repro.sim.engine import Simulator
+from repro.sim.units import MS
+
+TTL = 100 * MS
+APPS = ("a", "b")
+
+# an op: (kind, app, time-advance ms before the op)
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["acquire", "release"]),
+        st.sampled_from(APPS),
+        st.integers(0, 150),  # may straddle the 100 ms TTL
+    ),
+    max_size=40,
+)
+
+
+def _advance(sim: Simulator, delta: int) -> None:
+    """Run the simulator forward by ``delta`` us, firing due expiries."""
+    target = sim.now + delta
+    sim.run(until=target)
+
+
+class Model:
+    """Reference bookkeeping: released-at timestamps per app."""
+
+    def __init__(self, ttl: int, cap: int):
+        self.ttl = ttl
+        self.cap = cap
+        self.warm = {app: [] for app in APPS}  # release timestamps, FIFO
+
+    def prune(self, now: int) -> None:
+        for app in APPS:
+            self.warm[app] = [t for t in self.warm[app] if now < t + self.ttl]
+
+    def acquire(self, app: str, now: int) -> bool:
+        self.prune(now)
+        if self.warm[app]:
+            self.warm[app].pop()  # cache pops the most recent (LIFO)
+            return True
+        return False
+
+    def release(self, app: str, now: int) -> None:
+        self.prune(now)
+        if len(self.warm[app]) < self.cap:
+            self.warm[app].append(now)
+
+    def count(self, app: str, now: int) -> int:
+        self.prune(now)
+        return len(self.warm[app])
+
+
+@given(ops=ops)
+@settings(max_examples=200, deadline=None)
+def test_warm_count_matches_model(ops):
+    sim = Simulator()
+    cfg = ColdStartConfig(keep_alive=TTL, max_warm_per_app=3)
+    cache = KeepAliveCache(sim, cfg, np.random.default_rng(0))
+    model = Model(TTL, cfg.max_warm_per_app)
+    held = {app: 0 for app in APPS}  # containers out with requests
+
+    for kind, app, gap_ms in ops:
+        _advance(sim, gap_ms * MS)
+        if kind == "acquire":
+            delay = cache.acquire(app)
+            was_warm = delay == 0
+            assert was_warm == model.acquire(app, sim.now)
+            held[app] += 1
+        else:
+            if held[app] == 0:
+                continue  # nothing to give back
+            held[app] -= 1
+            cache.release(app)
+            model.release(app, sim.now)
+        for a in APPS:
+            assert cache.warm_count(a) == model.count(a, sim.now), (
+                f"warm_count({a!r}) diverged at t={sim.now}"
+            )
+
+    # drain every pending expiry: all warm containers age out, none of
+    # the acquired (cancelled-timer) ones fire
+    expirations_due = sum(cache.warm_count(a) for a in APPS)
+    sim.run()
+    assert all(cache.warm_count(a) == 0 for a in APPS)
+    assert cache.stats.expirations >= expirations_due
+
+
+@given(ops=ops)
+@settings(max_examples=200, deadline=None)
+def test_expiry_never_fires_for_acquired_container(ops):
+    """Re-acquiring a warm container must cancel its TTL timer: total
+    expirations == containers that were released and never re-acquired
+    (counted by the model), even after draining all timers."""
+    sim = Simulator()
+    cfg = ColdStartConfig(keep_alive=TTL, max_warm_per_app=3)
+    cache = KeepAliveCache(sim, cfg, np.random.default_rng(0))
+    model = Model(TTL, cfg.max_warm_per_app)
+    held = {app: 0 for app in APPS}
+    model_expired = 0
+
+    def settle(now):
+        nonlocal model_expired
+        for app in APPS:
+            live = [t for t in model.warm[app] if now < t + TTL]
+            model_expired += len(model.warm[app]) - len(live)
+            model.warm[app] = live
+
+    for kind, app, gap_ms in ops:
+        _advance(sim, gap_ms * MS)
+        settle(sim.now)
+        if kind == "acquire":
+            hit = cache.acquire(app) == 0
+            assert hit == model.acquire(app, sim.now)
+            held[app] += 1
+        elif held[app] > 0:
+            held[app] -= 1
+            cache.release(app)
+            model.release(app, sim.now)
+
+    sim.run()
+    settle(sim.now + TTL + 1)  # whatever was still warm ages out too
+    assert cache.stats.expirations == model_expired
+    # warm hits + cold starts account for every acquire
+    assert cache.stats.requests == sum(
+        1 for kind, _, _ in ops if kind == "acquire"
+    )
