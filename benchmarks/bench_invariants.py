@@ -1,0 +1,87 @@
+"""Invariant-checker overhead guard.
+
+``repro.invariants`` promises *zero overhead when off*: an unchecked
+run carries only a cached ``self._inv_on`` boolean at each hook site,
+and the NullChecker singleton is never called.  These benchmarks pin
+that promise with the same workload three ways:
+
+* ``nominal``  — no invariants argument at all (env off: the default
+  path every figure runs on);
+* ``off``      — invariants explicitly disabled, to show the request
+  plumbing itself is free;
+* ``checked``  — the full checker active, to document what opting in
+  costs (sampled deep audits keep this a small constant factor).
+
+All three must produce bit-identical records — the checker is
+read-only by construction, and this benchmark is where that contract
+is re-verified on every run.  The ratios land in
+``benchmark.extra_info`` so the JSON artifact tracks drift.
+"""
+
+import time
+
+from repro.experiments.runner import RunConfig, run_workload
+from repro.machine.base import MachineParams
+from repro.workload.faasbench import FaaSBench, FaaSBenchConfig
+
+
+def _workload(n=800, seed=1):
+    cfg = FaaSBenchConfig(n_requests=n, n_cores=8, target_load=0.8)
+    return FaaSBench(cfg, seed=seed).generate()
+
+
+def _drive(wl, **kw):
+    cfg = RunConfig(scheduler="cfs", engine="fluid",
+                    machine=MachineParams(n_cores=8), **kw)
+
+    def run():
+        res = run_workload(wl, cfg)
+        assert len(res.records) == len(wl)
+        return res
+
+    return run
+
+
+def _best_of(fn, rounds=5):
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_invariant_check_overhead(benchmark, monkeypatch):
+    monkeypatch.delenv("REPRO_INVARIANTS", raising=False)
+    wl = _workload()
+    nominal_run = _drive(wl)
+    off_run = _drive(wl, invariants=False)
+    checked_run = _drive(wl, invariants=True)
+
+    # the checker is read-only: all three paths must agree bit for bit
+    nominal_res = nominal_run()
+    assert off_run().records == nominal_res.records
+    checked_res = checked_run()
+    assert checked_res.records == nominal_res.records
+    assert sum(checked_res.meta["invariant_checks"].values()) > 0
+
+    nominal_s = _best_of(nominal_run)
+    off_s = _best_of(off_run)
+    checked_s = _best_of(checked_run)
+
+    benchmark.extra_info["nominal_best_s"] = round(nominal_s, 6)
+    benchmark.extra_info["off_best_s"] = round(off_s, 6)
+    benchmark.extra_info["checked_best_s"] = round(checked_s, 6)
+    benchmark.extra_info["off_over_nominal_ratio"] = round(
+        off_s / nominal_s, 3
+    )
+    benchmark.extra_info["checked_over_nominal_ratio"] = round(
+        checked_s / nominal_s, 3
+    )
+
+    # explicit-off must be indistinguishable from nominal (noise margin)
+    assert off_s / nominal_s < 1.10, (
+        f"disabled invariants cost {off_s / nominal_s:.2f}x"
+    )
+
+    benchmark(nominal_run)

@@ -6,6 +6,8 @@ The subcommands cover the common flows without writing Python::
     python -m repro compare --schedulers cfs sfs srtf --load 0.9
     python -m repro trace out.json --scheduler sfs --requests 500
     python -m repro experiment fig6 headline ext-eevdf
+    python -m repro experiment chaos headline --out results/ --resume
+    python -m repro check --quick
     python -m repro list
 
 ``run`` and ``compare`` generate a FaaSBench workload and print the
@@ -64,6 +66,10 @@ def _add_workload_args(p: argparse.ArgumentParser) -> None:
                    help="retry failed attempts up to N total attempts")
     p.add_argument("--shed", type=int, metavar="N",
                    help="shed arrivals beyond N outstanding requests")
+    p.add_argument("--invariants", action="store_const", const=True,
+                   default=None,
+                   help="force runtime invariant checking on for this run "
+                        "(default: follow REPRO_INVARIANTS)")
 
 
 def _workload(args):
@@ -119,6 +125,7 @@ def _run(args, scheduler: str, trace_path: Optional[str] = None):
 
     machine = MachineParams(n_cores=args.cores, ctx_switch_cost=args.ctx_cost)
     cfg = RunConfig(scheduler=scheduler, engine=args.engine, machine=machine,
+                    invariants=getattr(args, "invariants", None),
                     **_fault_config(args))
     recorder = None
     if trace_path:
@@ -232,6 +239,11 @@ def cmd_experiment(args) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         print(f"available: {', '.join(sorted(REGISTRY))}", file=sys.stderr)
         return 2
+    if args.resume and not args.out:
+        print("error: --resume requires --out DIR", file=sys.stderr)
+        return 2
+    if args.out:
+        return _experiment_sweep(args)
     for exp_id in args.ids:
         entry = REGISTRY[exp_id]
         t0 = time.time()
@@ -239,6 +251,46 @@ def cmd_experiment(args) -> int:
         print(f"\n=== {exp_id}: {entry.title} ({time.time() - t0:.1f}s) ===")
         print(entry.render(result))
     return 0
+
+
+def _experiment_sweep(args) -> int:
+    """Crash-safe sweep: one atomic artifact + manifest per experiment,
+    ``--resume`` skipping shards whose artifacts verify."""
+    from repro.experiments.artifacts import ArtifactStore, run_sweep
+
+    store = ArtifactStore(args.out)
+
+    def produce(exp_id: str):
+        entry = REGISTRY[exp_id]
+        return lambda: entry.render(entry.run_scaled(seed=args.seed))
+
+    outcomes = run_sweep(
+        shards=[(exp_id, produce(exp_id)) for exp_id in args.ids],
+        store=store,
+        config_for=lambda exp_id: {"exp_id": exp_id, "seed": args.seed},
+        resume=args.resume,
+        watchdog_seconds=args.watchdog,
+        progress=print,
+    )
+    bad = [o for o in outcomes if o.status in ("timeout", "failed")]
+    done = sum(1 for o in outcomes if o.status == "done")
+    skipped = sum(1 for o in outcomes if o.status == "skipped")
+    print(f"\nsweep: {done} run, {skipped} resumed, {len(bad)} failed")
+    for o in bad:
+        print(f"  {o.exp_id}: {o.status} ({o.detail})", file=sys.stderr)
+    return 1 if bad else 0
+
+
+def cmd_check(args) -> int:
+    """Differential validation: fluid vs discrete, scheduler vs oracle."""
+    from repro.invariants.diff import run_check_battery
+
+    reports = run_check_battery(quick=args.quick, seed=args.seed)
+    for report in reports:
+        print(report.render())
+    failed = [r for r in reports if not r.ok]
+    print(f"\n{len(reports) - len(failed)}/{len(reports)} comparisons clean")
+    return 1 if failed else 0
 
 
 def cmd_validate(args) -> int:
@@ -283,7 +335,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp = sub.add_parser("experiment", help="run paper artifacts")
     p_exp.add_argument("ids", nargs="+")
     p_exp.add_argument("--seed", type=int, default=0)
+    p_exp.add_argument("--out", metavar="DIR",
+                       help="write one atomic artifact + manifest per "
+                            "experiment into DIR instead of printing")
+    p_exp.add_argument("--resume", action="store_true",
+                       help="skip experiments whose artifacts in --out DIR "
+                            "verify against their manifests")
+    p_exp.add_argument("--watchdog", type=float, metavar="SECONDS",
+                       help="wall-clock budget per experiment (sweep mode)")
     p_exp.set_defaults(func=cmd_experiment)
+
+    p_chk = sub.add_parser(
+        "check",
+        help="differential validation (fluid vs discrete, vs IDEAL oracle)",
+    )
+    p_chk.add_argument("--quick", action="store_true",
+                       help="small workloads (CI smoke)")
+    p_chk.add_argument("--seed", type=int, default=21)
+    p_chk.set_defaults(func=cmd_check)
 
     p_list = sub.add_parser("list", help="list available experiments")
     p_list.set_defaults(func=cmd_list)

@@ -1,0 +1,208 @@
+"""Crash-safe, resumable experiment artifacts.
+
+Long sweeps (20+ registered experiments, chaos runs, parameter grids)
+die for boring reasons: OOM kills, CI timeouts, laptop lids.  This
+module makes the sweep restartable without trusting half-written state:
+
+* **atomic write-rename** — artifacts and manifests are written to a
+  temp file in the destination directory and ``os.replace``d into
+  place, so a crash leaves either the old file or the new file, never
+  a torn one;
+* **manifest-keyed content hashes** — each artifact carries a sidecar
+  manifest with the sha256 of its bytes and a digest of the producing
+  configuration; ``verify`` recomputes both, so a corrupt, truncated or
+  stale-config artifact is re-run, not resumed past;
+* **deterministic bytes** — manifests contain no timestamps or host
+  state, so a resumed sweep's artifacts are byte-identical to an
+  uninterrupted run (pinned by the test suite);
+* **wall-clock watchdog** — :func:`watchdog` bounds each experiment
+  with ``SIGALRM`` so one hung shard cannot stall the sweep forever.
+
+``repro experiment --out DIR --resume`` drives :func:`run_sweep`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+#: manifest schema identifier (bump on incompatible change).
+SCHEMA = "repro.artifact/1"
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` so a crash never leaves a torn file.
+
+    The temp file lives in the destination directory because
+    ``os.replace`` is only atomic within one filesystem.
+    """
+    directory = os.path.dirname(path) or "."
+    tmp = os.path.join(directory, f".{os.path.basename(path)}.tmp")
+    with open(tmp, "w") as fh:
+        fh.write(text)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def _canonical_json(obj: Any) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def config_digest(config: Dict[str, Any]) -> str:
+    """Stable digest of a producing configuration (JSON-safe dict)."""
+    return hashlib.sha256(_canonical_json(config).encode()).hexdigest()
+
+
+def _sha256_text(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+class ExperimentTimeout(RuntimeError):
+    """An experiment exceeded its wall-clock budget."""
+
+
+@contextmanager
+def watchdog(seconds: Optional[float]) -> Iterator[None]:
+    """Bound the enclosed block to ``seconds`` of wall time.
+
+    Uses ``SIGALRM``/``setitimer``, so it only arms on platforms that
+    have it and in the main thread; elsewhere it is a no-op (the sweep
+    still runs, just unbounded).  ``None`` or 0 disables the watchdog.
+    """
+    if (
+        not seconds
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _alarm(_signum, _frame):
+        raise ExperimentTimeout(f"experiment exceeded {seconds}s wall clock")
+
+    previous = signal.signal(signal.SIGALRM, _alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+class ArtifactStore:
+    """One directory of ``<exp_id>.txt`` + ``<exp_id>.manifest.json``."""
+
+    def __init__(self, root: str):
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    def artifact_path(self, exp_id: str) -> str:
+        return os.path.join(self.root, f"{exp_id}.txt")
+
+    def manifest_path(self, exp_id: str) -> str:
+        return os.path.join(self.root, f"{exp_id}.manifest.json")
+
+    def write(self, exp_id: str, text: str, config: Dict[str, Any]) -> None:
+        """Persist an artifact and its manifest, each atomically.
+
+        The artifact lands first: if the crash window falls between the
+        two renames, ``verify`` sees a manifest/content pair from
+        different generations only when the bytes differ — and then the
+        hash check fails and the shard is re-run.
+        """
+        atomic_write_text(self.artifact_path(exp_id), text)
+        manifest = {
+            "schema": SCHEMA,
+            "exp_id": exp_id,
+            "config": config,
+            "config_digest": config_digest(config),
+            "sha256": _sha256_text(text),
+            "bytes": len(text.encode()),
+        }
+        atomic_write_text(
+            self.manifest_path(exp_id),
+            _canonical_json(manifest) + "\n",
+        )
+
+    def verify(self, exp_id: str, config: Dict[str, Any]) -> bool:
+        """Does a trustworthy artifact for this exact config exist?"""
+        try:
+            with open(self.manifest_path(exp_id)) as fh:
+                manifest = json.load(fh)
+        except (OSError, ValueError):
+            return False
+        if manifest.get("schema") != SCHEMA:
+            return False
+        if manifest.get("config_digest") != config_digest(config):
+            return False  # produced by a different sweep configuration
+        try:
+            with open(self.artifact_path(exp_id)) as fh:
+                text = fh.read()
+        except OSError:
+            return False
+        return (
+            _sha256_text(text) == manifest.get("sha256")
+            and len(text.encode()) == manifest.get("bytes")
+        )
+
+    def read(self, exp_id: str) -> str:
+        with open(self.artifact_path(exp_id)) as fh:
+            return fh.read()
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """What happened to one experiment in a sweep."""
+
+    exp_id: str
+    #: "done" | "skipped" (resume hit) | "timeout" | "failed"
+    status: str
+    detail: str = ""
+
+
+def run_sweep(
+    shards: List[Tuple[str, Callable[[], str]]],
+    store: ArtifactStore,
+    config_for: Callable[[str], Dict[str, Any]],
+    resume: bool = False,
+    watchdog_seconds: Optional[float] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[ShardOutcome]:
+    """Run shards crash-safely, skipping verified artifacts on resume.
+
+    ``shards`` is a list of ``(exp_id, produce)`` where ``produce``
+    returns the artifact text; ``config_for`` maps an exp_id to the
+    JSON-safe configuration its manifest is keyed on.  A shard that
+    times out or raises is recorded and the sweep continues — partial
+    progress is exactly what ``--resume`` exists to pick up.
+    """
+    say = progress or (lambda _msg: None)
+    outcomes: List[ShardOutcome] = []
+    for exp_id, produce in shards:
+        config = config_for(exp_id)
+        if resume and store.verify(exp_id, config):
+            say(f"{exp_id}: verified artifact found, skipping")
+            outcomes.append(ShardOutcome(exp_id, "skipped"))
+            continue
+        try:
+            with watchdog(watchdog_seconds):
+                text = produce()
+        except ExperimentTimeout as exc:
+            say(f"{exp_id}: {exc}")
+            outcomes.append(ShardOutcome(exp_id, "timeout", str(exc)))
+            continue
+        except Exception as exc:
+            say(f"{exp_id}: failed: {exc}")
+            outcomes.append(ShardOutcome(exp_id, "failed", str(exc)))
+            continue
+        store.write(exp_id, text, config)
+        say(f"{exp_id}: wrote {store.artifact_path(exp_id)}")
+        outcomes.append(ShardOutcome(exp_id, "done"))
+    return outcomes

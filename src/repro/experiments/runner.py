@@ -18,6 +18,7 @@ from repro.core.sfs import SFS
 from repro.faults.plan import FaultPlan
 from repro.faults.policy import AdmissionControl, RetryPolicy
 from repro.faults.runtime import FaultRuntime
+from repro.invariants.checker import resolve_checker
 from repro.machine.base import MachineParams
 from repro.machine.discrete import DiscreteMachine
 from repro.machine.fluid import FluidMachine
@@ -60,6 +61,10 @@ class RunConfig:
     admission: Optional[AdmissionControl] = None
     #: per-request deadline in us from arrival (None = no deadline)
     timeout: Optional[int] = None
+    #: runtime invariant checking (repro.invariants): True forces the
+    #: checker on, False forces it off, None (default) defers to the
+    #: ``REPRO_INVARIANTS`` environment variable (CI sets it)
+    invariants: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.scheduler not in SCHEDULERS:
@@ -104,7 +109,12 @@ def run_workload(
     predicted branch per instrumentation site.
     """
     wall_start = time.perf_counter()
-    sim = Simulator(trace=trace)
+    checker = resolve_checker(
+        cfg.invariants,
+        seed=workload.meta.get("seed"),
+        label=f"scheduler={cfg.scheduler} engine={cfg.engine}",
+    )
+    sim = Simulator(trace=trace, invariants=checker)
     tr = sim.trace
     if cfg.faults is not None:
         # a straggler entry for host 0 degrades this (single) machine
@@ -204,10 +214,17 @@ def run_workload(
     meta = dict(workload.meta)
     if governor is not None:
         meta["fault_stats"] = governor.stats.as_dict()
+    records = build_records(pairs, faults=governor)
+    if checker.enabled:
+        checker.check_accounting(
+            workload, records,
+            governor.stats.as_dict() if governor is not None else None,
+        )
+        meta["invariant_checks"] = checker.summary()
     return RunResult(
         scheduler=cfg.scheduler,
         engine=cfg.engine,
-        records=build_records(pairs, faults=governor),
+        records=records,
         sim_time=sim.now,
         busy_time=machine.busy_time,
         n_cores=machine.n_cores,

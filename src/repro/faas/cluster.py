@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.predictor import DurationPredictor
 from repro.faas.openlambda import OpenLambdaConfig, OpenLambdaPlatform
 from repro.faults.runtime import FaultRuntime
+from repro.invariants.checker import resolve_checker
 from repro.metrics.collector import RunResult, build_records
 from repro.sim.engine import Simulator
 from repro.sim.task import Task
@@ -186,8 +187,16 @@ class FaaSCluster:
 
 
 def run_cluster(workload: Workload, config: ClusterConfig) -> RunResult:
-    """Replay a workload through the cluster; records merged across hosts."""
-    sim = Simulator()
+    """Replay a workload through the cluster; records merged across hosts.
+
+    Invariant checking follows ``REPRO_INVARIANTS`` (see
+    :mod:`repro.invariants`); one checker audits every host machine.
+    """
+    checker = resolve_checker(
+        None, seed=workload.meta.get("seed"),
+        label=f"cluster[{config.placement}] scheduler={config.host.scheduler}",
+    )
+    sim = Simulator(invariants=checker)
     cluster = FaaSCluster(sim, config)
     for spec in workload:
         sim.schedule_at(spec.arrival, cluster.dispatch, spec)
@@ -205,10 +214,17 @@ def run_cluster(workload: Workload, config: ClusterConfig) -> RunResult:
     }
     if cluster.faults is not None:
         meta["fault_stats"] = cluster.faults.stats.as_dict()
+    records = build_records(pairs, faults=cluster.faults)
+    if checker.enabled:
+        checker.check_accounting(
+            workload, records,
+            cluster.faults.stats.as_dict() if cluster.faults is not None else None,
+        )
+        meta["invariant_checks"] = checker.summary()
     return RunResult(
         scheduler=f"cluster[{config.placement}]+{config.host.scheduler}",
         engine=config.host.engine,
-        records=build_records(pairs, faults=cluster.faults),
+        records=records,
         sim_time=sim.now,
         busy_time=total_busy,
         n_cores=total_cores,

@@ -80,6 +80,10 @@ class KeepAliveCache:
         self.rng = rng
         self._idle: Dict[str, List[_WarmContainer]] = {}
         self.stats = ColdStartStats()
+        # runtime invariant checker (see repro.invariants): cached like
+        # the trace recorder so the disabled path costs one branch
+        self._inv = sim.invariants
+        self._inv_on = self._inv.enabled
 
     def acquire(self, app: str) -> int:
         """Take a container for ``app``.
@@ -93,6 +97,8 @@ class KeepAliveCache:
             if container.expiry_handle is not None:
                 container.expiry_handle.cancel()
             self.stats.warm_hits += 1
+            if self._inv_on:
+                self._inv.on_warm_cache(self, app)
             return 0
         self.stats.cold_starts += 1
         return self.config.penalty.sample(self.rng)
@@ -107,12 +113,16 @@ class KeepAliveCache:
             self.config.keep_alive, self._expire, app, container
         )
         idle.append(container)
+        if self._inv_on:
+            self._inv.on_warm_cache(self, app)
 
     def _expire(self, app: str, container: _WarmContainer) -> None:
         idle = self._idle.get(app, [])
         if container in idle:
             idle.remove(container)
             self.stats.expirations += 1
+            if self._inv_on:
+                self._inv.on_warm_cache(self, app)
 
     def warm_count(self, app: str) -> int:
         return len(self._idle.get(app, []))

@@ -19,6 +19,7 @@ from repro.faas.sandbox import ContainerPool
 from repro.faults.plan import FaultPlan
 from repro.faults.policy import AdmissionControl, RetryPolicy
 from repro.faults.runtime import FaultRuntime
+from repro.invariants.checker import resolve_checker
 from repro.machine.base import MachineBase, MachineParams
 from repro.machine.discrete import DiscreteMachine
 from repro.machine.fluid import FluidMachine
@@ -246,8 +247,18 @@ class OpenLambdaPlatform:
 
 
 def run_openlambda(workload: Workload, config: OpenLambdaConfig) -> RunResult:
-    """Replay a workload through the full OpenLambda pipeline."""
-    sim = Simulator()
+    """Replay a workload through the full OpenLambda pipeline.
+
+    Invariant checking follows ``REPRO_INVARIANTS`` (see
+    :mod:`repro.invariants`): the checker audits the machine, runqueues
+    and keep-alive cache during the run and the record/arrival closure
+    afterwards.
+    """
+    checker = resolve_checker(
+        None, seed=workload.meta.get("seed"),
+        label=f"openlambda scheduler={config.scheduler} engine={config.engine}",
+    )
+    sim = Simulator(invariants=checker)
     platform = OpenLambdaPlatform(sim, config)
     for spec in workload:
         sim.schedule_at(spec.arrival, platform.invoke, spec)
@@ -264,10 +275,17 @@ def run_openlambda(workload: Workload, config: OpenLambdaConfig) -> RunResult:
         meta["coldstart_stats"] = platform.coldstart.stats
     if platform.faults is not None:
         meta["fault_stats"] = platform.faults.stats.as_dict()
+    records = build_records(platform.pairs, faults=platform.faults)
+    if checker.enabled:
+        checker.check_accounting(
+            workload, records,
+            platform.faults.stats.as_dict() if platform.faults is not None else None,
+        )
+        meta["invariant_checks"] = checker.summary()
     return RunResult(
         scheduler=f"openlambda+{config.scheduler}",
         engine=config.engine,
-        records=build_records(platform.pairs, faults=platform.faults),
+        records=records,
         sim_time=sim.now,
         busy_time=platform.machine.busy_time,
         n_cores=platform.machine.n_cores,

@@ -19,6 +19,7 @@ failure scenario travels with its manifest.
 from __future__ import annotations
 
 import json
+import numbers
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Optional, Tuple, Union
@@ -53,23 +54,41 @@ class FaultPlan:
     host_failures: Tuple[Tuple[int, int, int], ...] = ()
 
     def __post_init__(self) -> None:
-        if not (0.0 <= self.crash_prob <= 1.0):
-            raise ValueError("crash_prob must be in [0, 1]")
-        if not (0.0 <= self.coldstart_fail_prob <= 1.0):
-            raise ValueError("coldstart_fail_prob must be in [0, 1]")
+        if isinstance(self.seed, bool) or not isinstance(self.seed, numbers.Integral):
+            raise ValueError(f"seed must be an integer, got {self.seed!r}")
+        for name in ("crash_prob", "coldstart_fail_prob"):
+            p = getattr(self, name)
+            if isinstance(p, bool) or not isinstance(p, numbers.Real):
+                raise ValueError(f"{name} must be a number in [0, 1], got {p!r}")
+            # NaN fails both comparisons, so this also rejects NaN
+            if not (0.0 <= float(p) <= 1.0):
+                raise ValueError(f"{name} must be in [0, 1], got {p!r}")
         # normalise nested JSON lists into hashable tuples
-        object.__setattr__(
-            self, "stragglers",
-            tuple((int(h), float(s)) for h, s in self.stragglers),
-        )
-        object.__setattr__(
-            self, "host_failures",
-            tuple((int(h), int(d), int(u)) for h, d, u in self.host_failures),
-        )
+        try:
+            object.__setattr__(
+                self, "stragglers",
+                tuple((int(h), float(s)) for h, s in self.stragglers),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ValueError(
+                f"stragglers must be (host_index, speed) pairs, got "
+                f"{self.stragglers!r}: {exc}"
+            ) from None
+        try:
+            object.__setattr__(
+                self, "host_failures",
+                tuple((int(h), int(d), int(u)) for h, d, u in self.host_failures),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ValueError(
+                f"host_failures must be (host_index, down_at_us, up_at_us) "
+                f"triples, got {self.host_failures!r}: {exc}"
+            ) from None
         for host, speed in self.stragglers:
             if host < 0:
                 raise ValueError("straggler host index must be >= 0")
-            if not (0.0 < speed <= 1.0):
+            # the explicit != ordering also rejects NaN speeds
+            if not (0.0 < speed <= 1.0) or speed != speed:
                 raise ValueError(f"straggler speed {speed} not in (0, 1]")
         for host, down_at, up_at in self.host_failures:
             if host < 0:
@@ -128,10 +147,17 @@ class FaultPlan:
 
     @classmethod
     def from_json(cls, data: dict) -> "FaultPlan":
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"FaultPlan JSON must be an object, got {type(data).__name__}"
+            )
         known = {f for f in cls.__dataclass_fields__}  # type: ignore[attr-defined]
         unknown = set(data) - known
         if unknown:
-            raise ValueError(f"unknown FaultPlan fields: {sorted(unknown)}")
+            raise ValueError(
+                f"unknown FaultPlan fields: {sorted(unknown)} "
+                f"(known: {sorted(known)})"
+            )
         return cls(**data)
 
     def save(self, path: Union[str, Path]) -> None:

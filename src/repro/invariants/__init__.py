@@ -1,0 +1,44 @@
+"""Runtime invariant checking (``repro.invariants``).
+
+The reproduction's headline claims are ordering/accounting properties:
+a single off-by-one in vruntime or keep-alive state would corrupt them
+without any test failing.  This package makes the simulator *detect its
+own* miscounting:
+
+* :mod:`repro.invariants.checker` — an opt-in runtime checker threaded
+  through the simulator, both machine engines, the CFS/RT/EEVDF
+  runqueues and the FaaS layer.  It asserts conservation laws at event
+  boundaries (work conservation, no-lost-tasks, monotone clocks and
+  vruntime, runqueue structural soundness, keep-alive occupancy,
+  fault-accounting closure) and raises a structured
+  :class:`InvariantViolation` carrying the offending state, sim time
+  and a replay seed.
+* :mod:`repro.invariants.diff` — differential validation: the same
+  seeded workload through fluid vs. discrete engines and CFS vs. the
+  ideal oracle, comparing per-request records within configured
+  tolerances (``repro check`` on the command line).
+
+Activation mirrors the ``NullRecorder`` pattern from ``repro.trace``:
+the default :data:`NULL_CHECKER` makes every instrumented site cost one
+attribute load and a predictable branch, so disabled runs stay on the
+exact pre-invariants code path.  Set ``REPRO_INVARIANTS=1`` (CI does)
+or pass ``RunConfig(invariants=True)`` to turn checking on.
+"""
+
+from repro.invariants.checker import (
+    NULL_CHECKER,
+    InvariantChecker,
+    InvariantViolation,
+    NullChecker,
+    invariants_enabled_by_default,
+    resolve_checker,
+)
+
+__all__ = [
+    "InvariantChecker",
+    "InvariantViolation",
+    "NullChecker",
+    "NULL_CHECKER",
+    "invariants_enabled_by_default",
+    "resolve_checker",
+]

@@ -90,6 +90,10 @@ class MachineBase:
         # plain-bool guard keeps disabled-mode sites to one attribute load
         self._trace = sim.trace
         self._trace_on = self._trace.enabled
+        # runtime invariant checker: same caching contract as the trace
+        # recorder (install on the Simulator before building the machine)
+        self._inv = sim.invariants
+        self._inv_on = self._inv.enabled
         # aggregate accounting
         self.busy_time: int = 0          # core-microseconds of CPU work done
         self.tasks_spawned: int = 0
@@ -166,6 +170,8 @@ class MachineBase:
     # ------------------------------------------------------------------
     def _notify_finish(self, task: Task) -> None:
         self.tasks_finished += 1
+        if self._inv_on:
+            self._inv.on_task_finish(task, self.sim.now)
         if self._trace_on:
             self._trace.emit(self.sim.now, tev.TASK_FINISH, task.tid)
         for cb in list(self._finish_callbacks):

@@ -322,6 +322,9 @@ class DiscreteMachine(MachineBase):
 
     def _pick_next(self, core: _Core) -> None:
         assert core.task is None
+        if self._inv_on:
+            self._inv.on_runqueue(core.rq)
+            self._inv.on_runqueue(self.rt_rq)
         task = None
         if self.rt_rq and self._rt_allowed(core):
             task = self.rt_rq.pop()
@@ -424,6 +427,8 @@ class DiscreteMachine(MachineBase):
                 served = min(int(credit), task.burst_remaining)
                 task._svc_residue = credit - served  # type: ignore[attr-defined]
             task.consume_cpu(served)
+            if self._inv_on:
+                self._inv.on_charge(task)
             self.busy_time += elapsed  # the core was occupied for the wall time
             if task.policy is SchedPolicy.CFS:
                 core.rq.update_curr(task.vruntime)

@@ -259,6 +259,8 @@ class FluidMachine(MachineBase):
             served = int(round(served_float))
             served = max(0, min(served, task.burst_remaining - 1))
         task.consume_cpu(served)
+        if self._inv_on:
+            self._inv.on_charge(task)
         elapsed = self.sim.now - task._pool_enter_time  # type: ignore[attr-defined]
         task.wait_time += max(0, elapsed - served)
         # fold the integrated switch-rate estimate into whole switches
@@ -307,6 +309,8 @@ class FluidMachine(MachineBase):
                         args=(tev.DESCHED_BURST_END,))
             served = task.burst_remaining
             task.consume_cpu(served)
+            if self._inv_on:
+                self._inv.on_charge(task)
             elapsed = self.sim.now - task._pool_enter_time  # type: ignore[attr-defined]
             task.wait_time += max(0, elapsed - served)
             cs = getattr(task, "_cs_float", 0.0)
@@ -315,12 +319,16 @@ class FluidMachine(MachineBase):
             task.ctx_involuntary += whole
             task._cs_float = cs - whole  # type: ignore[attr-defined]
             self._complete_cpu_burst(task)
+        if self._inv_on:
+            self._inv.on_fluid_pool(self)
         self._reschedule_pool_event()
 
     # ==================================================================
     # RT (dedicated-core) mechanics
     # ==================================================================
     def _dispatch_rt(self) -> None:
+        if self._inv_on:
+            self._inv.on_runqueue(self.rt_wait)
         while True:
             nxt = self.rt_wait.peek()
             if nxt is None:
@@ -379,6 +387,8 @@ class FluidMachine(MachineBase):
             served = int(served * self._speed)
         served = min(served, task.burst_remaining)
         task.consume_cpu(served)
+        if self._inv_on:
+            self._inv.on_charge(task)
         del self._rt_running[task.tid]
         if self._trace_on:
             self._trace.emit(self.sim.now, tev.TASK_DESCHEDULE, task.tid,
@@ -391,6 +401,8 @@ class FluidMachine(MachineBase):
         self._advance()
         task._rt_end_handle = None  # type: ignore[attr-defined]
         task.consume_cpu(task.burst_remaining)
+        if self._inv_on:
+            self._inv.on_charge(task)
         del self._rt_running[task.tid]
         if self._trace_on:
             self._trace.emit(self.sim.now, tev.TASK_DESCHEDULE, task.tid,

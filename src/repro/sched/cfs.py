@@ -172,3 +172,40 @@ class CfsRunqueue:
     def tasks(self) -> list[Task]:
         """Snapshot of queued tasks in vruntime order (for inspection)."""
         return list(self._tree.values())
+
+    # ------------------------------------------------------------------
+    def validate(self, deep: bool = False) -> None:
+        """Structural soundness for :mod:`repro.invariants`.
+
+        Cheap O(1) bookkeeping checks always run; ``deep=True`` adds the
+        full red-black audit plus a per-node key/task cross-check.
+        Raises ``AssertionError`` on corruption (wrapped into
+        ``InvariantViolation`` by the checker).
+        """
+        assert len(self._tree) == len(self._nodes), (
+            f"tree holds {len(self._tree)} entries but node index has "
+            f"{len(self._nodes)}"
+        )
+        assert self.total_weight >= 0, f"negative total_weight {self.total_weight}"
+        left = self._tree.min_item()
+        if left is not None:
+            key, task = left[0], left[1]
+            assert key[0] == task.vruntime, (
+                f"leftmost key {key[0]} != task {task.tid} vruntime "
+                f"{task.vruntime}"
+            )
+        if not deep:
+            return
+        self._tree.check_invariants()
+        weight = 0
+        for tid, node in self._nodes.items():
+            task = node.value
+            assert task.tid == tid, f"node index maps {tid} to task {task.tid}"
+            assert node.key[0] == task.vruntime, (
+                f"task {tid} keyed at vruntime {node.key[0]} but holds "
+                f"{task.vruntime}"
+            )
+            weight += task.weight
+        assert weight == self.total_weight, (
+            f"total_weight {self.total_weight} != sum of member weights {weight}"
+        )

@@ -155,3 +155,26 @@ class EevdfRunqueue:
             self._tasks,
             key=lambda t: (getattr(t, "_eevdf_deadline", 0), t.tid),
         )
+
+    # ------------------------------------------------------------------
+    def validate(self, deep: bool = False) -> None:
+        """Structural soundness for :mod:`repro.invariants`.
+
+        Cheap: no duplicated tids.  ``deep=True`` additionally checks
+        that every queued entity has a virtual deadline at or after its
+        vruntime (a deadline in the virtual past would let it monopolise
+        the pick).  Raises ``AssertionError`` on corruption.
+        """
+        tids = [t.tid for t in self._tasks]
+        assert len(tids) == len(set(tids)), (
+            f"duplicated tids on the EEVDF runqueue: {sorted(tids)}"
+        )
+        if not deep:
+            return
+        for t in self._tasks:
+            deadline = getattr(t, "_eevdf_deadline", None)
+            if deadline is not None:
+                assert deadline >= t.vruntime, (
+                    f"task {t.tid} deadline {deadline} behind vruntime "
+                    f"{t.vruntime}"
+                )

@@ -95,3 +95,41 @@ class RTRunqueue:
     def tasks(self) -> list[Task]:
         self._scrub()
         return [t for _p, _s, t in sorted(self._heap) if t.tid in self._members]
+
+    # ------------------------------------------------------------------
+    def validate(self, deep: bool = False) -> None:
+        """Structural soundness for :mod:`repro.invariants`.
+
+        Cheap: every member tid has a heap entry and no member is
+        duplicated.  ``deep=True`` re-verifies the heap property and
+        that each live entry's priority key matches its task.  Raises
+        ``AssertionError`` on corruption.
+        """
+        live = {}
+        for _p, _s, task in self._heap:
+            if task.tid in self._members:
+                live[task.tid] = live.get(task.tid, 0) + 1
+        assert set(live) == self._members, (
+            f"member set {sorted(self._members)} != live heap tids "
+            f"{sorted(live)}"
+        )
+        dupes = [tid for tid, n in live.items() if n > 1]
+        assert not dupes, f"tids queued more than once: {dupes}"
+        if not deep:
+            return
+        heap = self._heap
+        for i in range(1, len(heap)):
+            parent = (i - 1) // 2
+            assert heap[parent][:2] <= heap[i][:2], (
+                f"heap property violated at index {i}"
+            )
+        for neg_prio, _s, task in heap:
+            if task.tid in self._members:
+                assert -neg_prio == task.rt_priority, (
+                    f"task {task.tid} queued at priority {-neg_prio} but "
+                    f"holds {task.rt_priority}"
+                )
+                assert task.policy in (SchedPolicy.FIFO, SchedPolicy.RR), (
+                    f"non-RT task {task.tid} ({task.policy.name}) on the "
+                    f"RT runqueue"
+                )

@@ -15,6 +15,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Optional
 
+from repro.invariants.checker import NULL_CHECKER
 from repro.trace.recorder import NULL_RECORDER
 
 
@@ -73,15 +74,24 @@ class Simulator:
     to the shared no-op :data:`repro.trace.recorder.NULL_RECORDER`, so
     install a real :class:`repro.trace.TraceRecorder` *before* building
     the machine when a run should be traced.
+
+    ``invariants`` follows the same contract for the runtime invariant
+    checker (:mod:`repro.invariants`): it defaults to the shared no-op
+    :data:`repro.invariants.checker.NULL_CHECKER` and must be installed
+    before the machine is built, because every instrumented layer caches
+    it (and its ``enabled`` flag) at construction time.
     """
 
-    def __init__(self, trace: Optional[Any] = None) -> None:
+    def __init__(self, trace: Optional[Any] = None,
+                 invariants: Optional[Any] = None) -> None:
         self.now: int = 0
         self._heap: list[tuple[int, int, EventHandle]] = []
         self._seq: int = 0
         self._running = False
         self.events_executed: int = 0
         self.trace = trace if trace is not None else NULL_RECORDER
+        self.invariants = invariants if invariants is not None else NULL_CHECKER
+        self._inv_on = self.invariants.enabled
 
     # ------------------------------------------------------------------
     # scheduling
@@ -119,6 +129,8 @@ class Simulator:
         if not self._heap:
             return False
         time, _seq, handle = heapq.heappop(self._heap)
+        if self._inv_on:
+            self.invariants.on_event(time, self.now)
         self.now = time
         callback, args = handle.callback, handle.args
         handle.cancel()  # consumed; release references

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import enum
 import itertools
+import numbers
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -34,6 +35,18 @@ class Burst:
     duration: int
 
     def __post_init__(self) -> None:
+        if not isinstance(self.kind, BurstKind):
+            raise ValueError(f"burst kind must be a BurstKind, got {self.kind!r}")
+        # Reject float durations (incl. NaN, which passes every comparison
+        # guard) before they corrupt the integer event arithmetic.  Any
+        # integral type is fine (numpy ints included); bool is not.
+        if isinstance(self.duration, bool) or not isinstance(
+            self.duration, numbers.Integral
+        ):
+            raise ValueError(
+                f"burst duration must be an integer number of us, "
+                f"got {self.duration!r}"
+            )
         if self.duration <= 0:
             raise ValueError(f"burst duration must be positive, got {self.duration}")
 

@@ -30,10 +30,23 @@ def unpack_bursts(packed: str):
     for seg in packed.split(";"):
         if not seg:
             continue
-        kind, _, dur = seg.partition(":")
+        kind, sep, dur = seg.partition(":")
         if kind not in _CODE_KIND:
-            raise ValueError(f"unknown burst kind {kind!r}")
-        out.append(Burst(_CODE_KIND[kind], int(dur)))
+            raise ValueError(
+                f"unknown burst kind {kind!r} in segment {seg!r} "
+                f"(expected one of {sorted(_CODE_KIND)})"
+            )
+        if not sep:
+            raise ValueError(f"malformed burst segment {seg!r} "
+                             f"(expected 'kind:us')")
+        try:
+            duration = int(dur)
+        except ValueError:
+            raise ValueError(
+                f"burst duration must be integer us, got {dur!r} in "
+                f"segment {seg!r}"
+            ) from None
+        out.append(Burst(_CODE_KIND[kind], duration))
     if not out:
         raise ValueError("empty burst list")
     return tuple(out)
@@ -51,8 +64,15 @@ def save_workload(workload: Workload, path: str) -> None:
             w.writerow([r.req_id, r.arrival, r.name, r.app, pack_bursts(r.bursts)])
 
 
+_COLUMNS = ("req_id", "arrival_us", "name", "app", "bursts")
+
+
 def load_workload(path: str) -> Workload:
-    """Read a workload written by :func:`save_workload`."""
+    """Read a workload written by :func:`save_workload`.
+
+    Malformed input fails with the offending row number and field, not
+    a downstream KeyError/ValueError deep inside a run.
+    """
     meta = {}
     rows = []
     with open(path, newline="") as fh:
@@ -61,19 +81,46 @@ def load_workload(path: str) -> Workload:
     for line in lines:
         if line.startswith("#"):
             if line.startswith("# meta: "):
-                meta = json.loads(line[len("# meta: "):])
+                try:
+                    meta = json.loads(line[len("# meta: "):])
+                except ValueError as exc:
+                    raise ValueError(
+                        f"{path}: malformed '# meta:' header: {exc}"
+                    ) from None
+                if not isinstance(meta, dict):
+                    raise ValueError(
+                        f"{path}: '# meta:' header must be a JSON object, "
+                        f"got {type(meta).__name__}"
+                    )
         else:
             data_lines.append(line)
-    for row in csv.DictReader(data_lines):
-        rows.append(
-            RequestSpec(
-                req_id=int(row["req_id"]),
-                arrival=int(row["arrival_us"]),
-                bursts=unpack_bursts(row["bursts"]),
-                name=row["name"],
-                app=row["app"],
+    reader = csv.DictReader(data_lines)
+    if reader.fieldnames is not None:
+        missing = [c for c in _COLUMNS if c not in reader.fieldnames]
+        unknown = [c for c in reader.fieldnames if c not in _COLUMNS]
+        if missing or unknown:
+            raise ValueError(
+                f"{path}: bad header: missing columns {missing}, "
+                f"unknown columns {unknown} (expected {list(_COLUMNS)})"
             )
-        )
+    for lineno, row in enumerate(reader, start=2):
+        try:
+            rows.append(
+                RequestSpec(
+                    req_id=int(row["req_id"]),
+                    arrival=int(row["arrival_us"]),
+                    bursts=unpack_bursts(row["bursts"]),
+                    name=row["name"],
+                    app=row["app"],
+                )
+            )
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"{path}: data row {lineno}: {exc}") from None
     if not rows:
         raise ValueError(f"no requests found in {path}")
+    seen = set()
+    for spec in rows:
+        if spec.req_id in seen:
+            raise ValueError(f"{path}: duplicated req_id {spec.req_id}")
+        seen.add(spec.req_id)
     return Workload(rows, meta)

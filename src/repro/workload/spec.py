@@ -10,6 +10,7 @@ paired-comparison discipline all the paper's figures rely on.
 
 from __future__ import annotations
 
+import numbers
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -27,10 +28,22 @@ class RequestSpec:
     app: str = ""                     # e.g. "fib" | "md" | "sa"
 
     def __post_init__(self) -> None:
+        # float arrivals (incl. NaN, which passes `< 0`) would corrupt
+        # the integer event heap — reject at construction
+        if isinstance(self.arrival, bool) or not isinstance(
+            self.arrival, numbers.Integral
+        ):
+            raise ValueError(
+                f"request {self.req_id}: arrival must be an integer time "
+                f"in us, got {self.arrival!r}"
+            )
         if self.arrival < 0:
-            raise ValueError("arrival must be non-negative")
+            raise ValueError(
+                f"request {self.req_id}: arrival must be non-negative, "
+                f"got {self.arrival}"
+            )
         if not self.bursts:
-            raise ValueError("request needs at least one burst")
+            raise ValueError(f"request {self.req_id} needs at least one burst")
 
     @property
     def cpu_demand(self) -> int:

@@ -1,0 +1,199 @@
+"""Crash-safe artifacts and resumable sweeps (repro.experiments.artifacts).
+
+The acceptance bar: kill a sweep mid-flight, rerun with resume, and the
+final artifact directory is byte-identical to an uninterrupted run.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.experiments.artifacts import (
+    SCHEMA,
+    ArtifactStore,
+    ExperimentTimeout,
+    ShardOutcome,
+    atomic_write_text,
+    config_digest,
+    run_sweep,
+    watchdog,
+)
+
+
+def _cfg_for(exp_id):
+    return {"exp_id": exp_id, "seed": 7}
+
+
+def _shards(calls=None):
+    def produce(exp_id):
+        def inner():
+            if calls is not None:
+                calls.append(exp_id)
+            return f"artifact body for {exp_id}\n" * 3
+        return inner
+    return [(e, produce(e)) for e in ("fig2", "fig7", "fig9")]
+
+
+def _tree_bytes(root):
+    out = {}
+    for name in sorted(os.listdir(root)):
+        with open(os.path.join(root, name), "rb") as fh:
+            out[name] = fh.read()
+    return out
+
+
+# ----------------------------------------------------------------------
+# atomic writes + manifests
+# ----------------------------------------------------------------------
+def test_atomic_write_leaves_no_temp_files(tmp_path):
+    path = str(tmp_path / "a.txt")
+    atomic_write_text(path, "hello")
+    atomic_write_text(path, "world")  # overwrite is atomic too
+    assert open(path).read() == "world"
+    assert os.listdir(tmp_path) == ["a.txt"]
+
+
+def test_store_roundtrip_and_verify(tmp_path):
+    store = ArtifactStore(str(tmp_path))
+    store.write("fig2", "data\n", _cfg_for("fig2"))
+    assert store.read("fig2") == "data\n"
+    assert store.verify("fig2", _cfg_for("fig2"))
+    manifest = json.load(open(store.manifest_path("fig2")))
+    assert manifest["schema"] == SCHEMA
+    assert manifest["config_digest"] == config_digest(_cfg_for("fig2"))
+
+
+def test_manifest_is_deterministic(tmp_path):
+    """No timestamps, no host state: writing the same artifact twice
+    (even seconds apart) yields byte-identical files."""
+    a, b = ArtifactStore(str(tmp_path / "a")), ArtifactStore(str(tmp_path / "b"))
+    a.write("fig2", "data\n", _cfg_for("fig2"))
+    time.sleep(0.05)
+    b.write("fig2", "data\n", _cfg_for("fig2"))
+    assert _tree_bytes(a.root) == _tree_bytes(b.root)
+
+
+@pytest.mark.parametrize("tamper", ["truncate", "corrupt", "missing_artifact",
+                                    "bad_manifest", "stale_config"])
+def test_verify_rejects_untrustworthy_artifacts(tmp_path, tamper):
+    store = ArtifactStore(str(tmp_path))
+    store.write("fig2", "data line\n" * 10, _cfg_for("fig2"))
+    cfg = _cfg_for("fig2")
+    if tamper == "truncate":
+        open(store.artifact_path("fig2"), "w").write("data line\n")
+    elif tamper == "corrupt":
+        text = open(store.artifact_path("fig2")).read()
+        open(store.artifact_path("fig2"), "w").write(text.replace("data", "dXta"))
+    elif tamper == "missing_artifact":
+        os.unlink(store.artifact_path("fig2"))
+    elif tamper == "bad_manifest":
+        open(store.manifest_path("fig2"), "w").write("{not json")
+    elif tamper == "stale_config":
+        cfg = {"exp_id": "fig2", "seed": 8}  # different sweep parameters
+    assert not store.verify("fig2", cfg)
+
+
+def test_verify_missing_everything(tmp_path):
+    assert not ArtifactStore(str(tmp_path)).verify("nope", {"x": 1})
+
+
+# ----------------------------------------------------------------------
+# the watchdog
+# ----------------------------------------------------------------------
+def test_watchdog_fires_on_hang():
+    with pytest.raises(ExperimentTimeout):
+        with watchdog(0.05):
+            time.sleep(5)
+
+
+def test_watchdog_disarmed_after_block():
+    with watchdog(0.05):
+        pass
+    time.sleep(0.1)  # a stale alarm would fire here and kill the test
+
+
+def test_watchdog_disabled():
+    with watchdog(None):
+        time.sleep(0.01)
+    with watchdog(0):
+        time.sleep(0.01)
+
+
+# ----------------------------------------------------------------------
+# sweeps: skip, continue-on-error, resume
+# ----------------------------------------------------------------------
+def test_sweep_runs_all_shards(tmp_path):
+    store = ArtifactStore(str(tmp_path))
+    calls = []
+    outcomes = run_sweep(_shards(calls), store, _cfg_for)
+    assert [o.status for o in outcomes] == ["done"] * 3
+    assert calls == ["fig2", "fig7", "fig9"]
+    for exp_id in calls:
+        assert store.verify(exp_id, _cfg_for(exp_id))
+
+
+def test_sweep_continues_past_failures(tmp_path):
+    store = ArtifactStore(str(tmp_path))
+
+    def boom():
+        raise RuntimeError("shard exploded")
+
+    shards = [("good", lambda: "ok\n"), ("bad", boom), ("tail", lambda: "t\n")]
+    outcomes = run_sweep(shards, store, _cfg_for)
+    assert [o.status for o in outcomes] == ["done", "failed", "done"]
+    assert "exploded" in outcomes[1].detail
+    assert store.verify("tail", _cfg_for("tail"))
+    assert not store.verify("bad", _cfg_for("bad"))
+
+
+def test_sweep_timeout_is_isolated(tmp_path):
+    store = ArtifactStore(str(tmp_path))
+
+    def hang():
+        time.sleep(5)
+        return "never\n"
+
+    shards = [("hung", hang), ("tail", lambda: "t\n")]
+    outcomes = run_sweep(shards, store, _cfg_for, watchdog_seconds=0.05)
+    assert [o.status for o in outcomes] == ["timeout", "done"]
+
+
+def test_resume_after_midsweep_kill_is_byte_identical(tmp_path):
+    """Simulate a kill between shard 1 and shard 2 — including the
+    nastiest crash window, a written artifact with no manifest yet —
+    then resume and compare against an uninterrupted sweep."""
+    clean_store = ArtifactStore(str(tmp_path / "clean"))
+    run_sweep(_shards(), clean_store, _cfg_for)
+
+    crashed = ArtifactStore(str(tmp_path / "crashed"))
+    # shard 1 completed before the kill
+    crashed.write("fig2", "artifact body for fig2\n" * 3, _cfg_for("fig2"))
+    # shard 2 died inside write(): artifact renamed, manifest not yet
+    atomic_write_text(crashed.artifact_path("fig7"),
+                      "artifact body for fig7\n" * 3)
+    # shard 3 never started
+
+    calls = []
+    outcomes = run_sweep(_shards(calls), crashed, _cfg_for, resume=True)
+    assert [o.status for o in outcomes] == ["skipped", "done", "done"]
+    assert calls == ["fig7", "fig9"]  # fig2 resumed, not recomputed
+    assert _tree_bytes(crashed.root) == _tree_bytes(clean_store.root)
+
+
+def test_resume_off_recomputes_everything(tmp_path):
+    store = ArtifactStore(str(tmp_path))
+    run_sweep(_shards(), store, _cfg_for)
+    calls = []
+    outcomes = run_sweep(_shards(calls), store, _cfg_for, resume=False)
+    assert [o.status for o in outcomes] == ["done"] * 3
+    assert len(calls) == 3
+
+
+def test_sweep_progress_messages(tmp_path):
+    store = ArtifactStore(str(tmp_path))
+    run_sweep(_shards(), store, _cfg_for)
+    msgs = []
+    run_sweep(_shards(), store, _cfg_for, resume=True, progress=msgs.append)
+    assert any("skipping" in m for m in msgs)

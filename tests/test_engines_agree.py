@@ -9,6 +9,8 @@ import numpy as np
 import pytest
 
 from conftest import quick_run, small_workload
+from repro.faults.plan import FaultPlan
+from repro.faults.policy import RetryPolicy
 
 
 @pytest.mark.parametrize("load", [0.6, 0.9, 1.0])
@@ -48,6 +50,40 @@ def test_engines_same_service_totals():
     fluid = quick_run(wl, "cfs", engine="fluid")
     disc = quick_run(wl, "cfs", engine="discrete")
     assert fluid.array("cpu_time").sum() == disc.array("cpu_time").sum()
+
+
+def test_faulted_runs_agree_record_level():
+    """Fault decisions are pure hashes of (seed, req_id, attempt), so both
+    engines must crash/retry exactly the same requests; the surviving
+    completions must then agree like any other paired run."""
+    wl = small_workload(n_requests=300, load=0.9, seed=11)
+    plan = FaultPlan(seed=101, crash_prob=0.08)
+    retry = RetryPolicy(max_attempts=3)
+    fluid = quick_run(wl, "cfs", engine="fluid", faults=plan, retry=retry)
+    disc = quick_run(wl, "cfs", engine="discrete", faults=plan, retry=retry)
+
+    by_id_f = {r.req_id: r for r in fluid.records}
+    by_id_d = {r.req_id: r for r in disc.records}
+    assert set(by_id_f) == set(by_id_d)
+
+    # exact agreement on the fault trajectory of every request
+    for rid, rf in by_id_f.items():
+        rd = by_id_d[rid]
+        assert (rf.status, rf.attempts) == (rd.status, rd.attempts), (
+            f"req {rid}: fluid ({rf.status},{rf.attempts}) vs "
+            f"discrete ({rd.status},{rd.attempts})"
+        )
+
+    # some crashes and retries must actually have happened
+    assert any(r.attempts > 1 for r in fluid.records)
+    assert fluid.meta["fault_stats"]["crashes"] > 0
+    assert fluid.meta["fault_stats"] == disc.meta["fault_stats"]
+
+    # surviving completions agree in aggregate as tightly as fault-free runs
+    f = np.array([r.turnaround for r in fluid.records if r.status == "ok"])
+    d = np.array([by_id_d[r.req_id].turnaround
+                  for r in fluid.records if r.status == "ok"])
+    assert abs(f.mean() - d.mean()) / d.mean() < 0.15
 
 
 def test_ctx_switch_estimates_same_order():

@@ -1,0 +1,153 @@
+"""Malformed inputs fail fast with actionable errors, not deep in a run.
+
+Covers the three external input surfaces: burst/request construction,
+the workload CSV loader, and FaultPlan JSON.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults.plan import FaultPlan
+from repro.sim.task import Burst, BurstKind
+from repro.workload.io import load_workload, save_workload, unpack_bursts
+from repro.workload.spec import RequestSpec, Workload
+
+
+# ----------------------------------------------------------------------
+# bursts and requests
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("duration", [0, -5, 1.5, float("nan"), "100", True])
+def test_burst_rejects_bad_durations(duration):
+    with pytest.raises(ValueError):
+        Burst(BurstKind.CPU, duration)
+
+
+def test_burst_accepts_numpy_integers():
+    assert Burst(BurstKind.CPU, np.int64(100)).duration == 100
+
+
+def test_burst_rejects_bad_kind():
+    with pytest.raises(ValueError, match="BurstKind"):
+        Burst("cpu", 100)
+
+
+@pytest.mark.parametrize("arrival", [-1, 1.5, float("nan"), "0", True])
+def test_request_rejects_bad_arrivals(arrival):
+    with pytest.raises(ValueError, match="request 7"):
+        RequestSpec(req_id=7, arrival=arrival,
+                    bursts=(Burst(BurstKind.CPU, 100),))
+
+
+def test_request_rejects_empty_bursts():
+    with pytest.raises(ValueError, match="at least one burst"):
+        RequestSpec(req_id=3, arrival=0, bursts=())
+
+
+# ----------------------------------------------------------------------
+# workload CSV round-trip surface
+# ----------------------------------------------------------------------
+def _tiny_workload():
+    return Workload(
+        [RequestSpec(req_id=i, arrival=i * 10,
+                     bursts=(Burst(BurstKind.CPU, 100),), name=f"f{i}",
+                     app="fib")
+         for i in range(3)],
+        meta={"seed": 1},
+    )
+
+
+@pytest.mark.parametrize("packed,match", [
+    ("gpu:100", "unknown burst kind"),
+    ("cpu100", "unknown burst kind"),
+    ("cpu:abc", "must be integer"),
+    ("", "empty burst list"),
+])
+def test_unpack_bursts_errors(packed, match):
+    with pytest.raises(ValueError, match=match):
+        unpack_bursts(packed)
+
+
+def test_load_rejects_malformed_meta(tmp_path):
+    path = tmp_path / "w.csv"
+    save_workload(_tiny_workload(), str(path))
+    text = path.read_text().replace('# meta: {"seed": 1}', "# meta: {broken")
+    path.write_text(text)
+    with pytest.raises(ValueError, match="malformed '# meta:'"):
+        load_workload(str(path))
+
+
+def test_load_rejects_bad_header(tmp_path):
+    path = tmp_path / "w.csv"
+    save_workload(_tiny_workload(), str(path))
+    path.write_text(path.read_text().replace("arrival_us", "arrival_ms"))
+    with pytest.raises(ValueError, match="bad header"):
+        load_workload(str(path))
+
+
+def test_load_reports_offending_row(tmp_path):
+    path = tmp_path / "w.csv"
+    save_workload(_tiny_workload(), str(path))
+    path.write_text(path.read_text().replace("cpu:100", "cpu:oops", 1))
+    with pytest.raises(ValueError, match="data row 2"):
+        load_workload(str(path))
+
+
+def test_load_rejects_duplicate_req_ids(tmp_path):
+    path = tmp_path / "w.csv"
+    save_workload(_tiny_workload(), str(path))
+    lines = path.read_text().splitlines(keepends=True)
+    path.write_text("".join(lines) + lines[-1])
+    with pytest.raises(ValueError, match="duplicated req_id"):
+        load_workload(str(path))
+
+
+def test_load_roundtrip_still_works(tmp_path):
+    path = tmp_path / "w.csv"
+    wl = _tiny_workload()
+    save_workload(wl, str(path))
+    back = load_workload(str(path))
+    assert [r.req_id for r in back] == [r.req_id for r in wl]
+    assert back.meta["seed"] == 1
+
+
+# ----------------------------------------------------------------------
+# fault plans
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kw", [
+    {"seed": 1.5},
+    {"seed": True},
+    {"crash_prob": -0.1},
+    {"crash_prob": 1.1},
+    {"crash_prob": float("nan")},
+    {"crash_prob": "0.5"},
+    {"coldstart_fail_prob": 2.0},
+    {"stragglers": ((0, 0.0),)},
+    {"stragglers": ((0, float("nan")),)},
+    {"stragglers": ((-1, 0.5),)},
+    {"stragglers": (("zero", 0.5),)},
+    {"stragglers": ((0,),)},
+    {"host_failures": ((0, 100, 50),)},
+    {"host_failures": ((0, -1, 50),)},
+    {"host_failures": ((0, 100),)},
+])
+def test_fault_plan_rejects_bad_values(kw):
+    with pytest.raises(ValueError):
+        FaultPlan(**kw)
+
+
+def test_fault_plan_from_json_rejects_unknown_fields():
+    with pytest.raises(ValueError, match="unknown FaultPlan fields"):
+        FaultPlan.from_json({"seed": 1, "crash_probability": 0.5})
+
+
+def test_fault_plan_from_json_rejects_non_object():
+    with pytest.raises(ValueError, match="must be an object"):
+        FaultPlan.from_json([1, 2, 3])
+
+
+def test_fault_plan_roundtrip_still_works(tmp_path):
+    plan = FaultPlan(seed=3, crash_prob=0.1, stragglers=((1, 0.5),),
+                     host_failures=((0, 100, 200),))
+    path = tmp_path / "plan.json"
+    plan.save(path)
+    assert FaultPlan.load(path) == plan

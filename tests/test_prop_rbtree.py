@@ -1,0 +1,97 @@
+"""Property tests: the red-black tree against a sorted-list model.
+
+The CFS runqueue keys its tree by ``(vruntime, seq)`` which is unique,
+but the tree itself promises to support *duplicate* keys (they land in
+the right subtree).  These tests drive random insert / delete /
+``pop_min`` sequences — with a deliberately tiny key space so duplicate
+keys are the common case, not the exception — against the obvious model
+(a sorted list of ``(key, node_id)``), checking after every step that
+
+* ``min_item`` matches the model's head,
+* in-order iteration yields the model's multiset of keys, and
+* every red-black structural invariant holds (``check_invariants``).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sched.rbtree import RBTree
+
+# operations: ("insert", key) | ("delete", index) | ("pop_min",)
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), st.integers(min_value=0, max_value=7)),
+        st.tuples(st.just("delete"), st.integers(min_value=0, max_value=10_000)),
+        st.tuples(st.just("pop_min")),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+def _check_against_model(tree: RBTree, model: list) -> None:
+    tree.check_invariants()
+    assert len(tree) == len(model)
+    keys = sorted(k for k, *_rest in model)
+    assert list(tree.keys()) == keys
+    if model:
+        assert tree.min_item() is not None
+        assert tree.min_item()[0] == keys[0]
+    else:
+        assert tree.min_item() is None
+
+
+@settings(max_examples=400, deadline=None)
+@given(_ops)
+def test_rbtree_matches_sorted_list_model(ops):
+    tree = RBTree()
+    model = []  # list of (key, value, node) in insertion order
+    serial = 0
+    for op in ops:
+        if op[0] == "insert":
+            key = op[1]
+            node = tree.insert(key, serial)
+            model.append((key, serial, node))
+            serial += 1
+        elif op[0] == "delete":
+            if not model:
+                continue
+            _key, _val, node = model.pop(op[1] % len(model))
+            tree.delete(node)
+        else:  # pop_min
+            item = tree.pop_min()
+            if not model:
+                assert item is None
+                continue
+            min_key = min(k for k, _v, _n in model)
+            assert item is not None and item[0] == min_key
+            # drop exactly the popped node from the model (unique value)
+            idx = next(
+                i for i, (_k, v, _n) in enumerate(model) if v == item[1]
+            )
+            assert model[idx][0] == min_key
+            model.pop(idx)
+        _check_against_model(tree, model)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=40),
+    st.data(),
+)
+def test_rbtree_duplicate_heavy_delete(keys, data):
+    """Insert many duplicates, then delete in random order."""
+    tree = RBTree()
+    nodes = [tree.insert(k, i) for i, k in enumerate(keys)]
+    remaining = sorted(keys)
+    while nodes:
+        idx = data.draw(st.integers(min_value=0, max_value=len(nodes) - 1))
+        node = nodes.pop(idx)
+        remaining.remove(node.key)
+        tree.delete(node)
+        tree.check_invariants()
+        assert list(tree.keys()) == remaining
+        if remaining:
+            assert tree.min_item()[0] == remaining[0]
