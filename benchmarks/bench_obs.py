@@ -1,0 +1,118 @@
+"""Metrics overhead guard.
+
+Same promise, same methodology as ``bench_trace_overhead``: the default
+:data:`repro.obs.NULL_REGISTRY` must cost nothing but one cached
+attribute load and a predictable branch per instrumented site, and the
+null registry must never accumulate an instrument by accident.  The
+400-task/4-core workload from ``bench_micro_engines`` is driven three
+ways per engine:
+
+* ``default``  — no registry passed (the shared ``NULL_REGISTRY``);
+* ``enabled``  — a live :class:`repro.obs.MetricsRegistry`;
+* ``profiled`` — metrics plus the wall-clock self-profiler, the most
+  expensive opt-in.
+
+Best-of-5 wall times and the enabled/null and profiled/null ratios land
+in ``benchmark.extra_info``, so the benchmark JSON artifact documents
+what opting in costs on this host — and the perf snapshot from ``repro
+bench`` (BENCH_*.json) tracks the null path itself across PRs, which is
+where a creeping always-on overhead would show up as an events/sec
+regression.
+"""
+
+import time
+
+import numpy as np
+
+from repro.machine.base import MachineParams
+from repro.machine.discrete import DiscreteMachine
+from repro.machine.fluid import FluidMachine
+from repro.obs import NULL_REGISTRY, MetricsRegistry
+from repro.sim.engine import Simulator
+from repro.sim.task import Burst, BurstKind, Task
+from repro.sim.units import MS
+
+
+def _workload_tasks(n=400, seed=1):
+    rng = np.random.default_rng(seed)
+    out = []
+    at = 0
+    for _ in range(n):
+        at += int(rng.exponential(8 * MS))
+        dur = int(rng.uniform(5 * MS, 60 * MS))
+        out.append((at, dur))
+    return out
+
+
+def _drive(machine_cls, registry_factory=None):
+    specs = _workload_tasks()
+
+    def run():
+        registry = registry_factory() if registry_factory else None
+        sim = Simulator(metrics=registry)
+        m = machine_cls(sim, MachineParams(n_cores=4))
+        tasks = []
+        for at, dur in specs:
+            task = Task(bursts=[Burst(BurstKind.CPU, dur)])
+            tasks.append(task)
+            sim.schedule_at(at, m.spawn, task)
+        sim.run()
+        assert all(t.finished for t in tasks)
+        return sim.events_executed
+
+    return run
+
+
+def _best_of(fn, rounds=5):
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _bench_engine(benchmark, machine_cls):
+    null_run = _drive(machine_cls)  # default: shared NULL_REGISTRY
+    enabled_run = _drive(machine_cls, registry_factory=MetricsRegistry)
+    profiled_run = _drive(
+        machine_cls, registry_factory=lambda: MetricsRegistry(profile=True)
+    )
+
+    null_s = _best_of(null_run)
+    enabled_s = _best_of(enabled_run)
+    profiled_s = _best_of(profiled_run)
+    assert len(NULL_REGISTRY) == 0  # nothing registered by accident
+
+    benchmark.extra_info["null_best_s"] = round(null_s, 6)
+    benchmark.extra_info["enabled_best_s"] = round(enabled_s, 6)
+    benchmark.extra_info["profiled_best_s"] = round(profiled_s, 6)
+    benchmark.extra_info["enabled_over_null_ratio"] = round(
+        enabled_s / null_s, 3
+    )
+    benchmark.extra_info["profiled_over_null_ratio"] = round(
+        profiled_s / null_s, 3
+    )
+    benchmark(null_run)
+
+
+def test_obs_overhead_discrete(benchmark):
+    _bench_engine(benchmark, DiscreteMachine)
+
+
+def test_obs_overhead_fluid(benchmark):
+    _bench_engine(benchmark, FluidMachine)
+
+
+def test_enabled_registry_actually_measures():
+    """Guard the guard: the enabled path registers instruments (so the
+    ratio above measures real work, not a silently-null registry)."""
+    reg = MetricsRegistry()
+    sim = Simulator(metrics=reg)
+    m = FluidMachine(sim, MachineParams(n_cores=4))
+    task = Task(bursts=[Burst(BurstKind.CPU, 5 * MS)])
+    sim.schedule_at(0, m.spawn, task)
+    sim.run()
+    assert task.finished
+    assert reg.get("repro_tasks_spawned_total").value == 1
+    assert reg.get("repro_tasks_finished_total").value == 1

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Sequence
 
 import numpy as np
+from repro.metrics.stats import percentile
 
 from repro.sim.units import to_ms
 
@@ -62,7 +63,7 @@ def format_cdf_probes(
     rows = []
     for name, values in series.items():
         a = np.asarray(values, dtype=float) / scale
-        rows.append([name] + [float(np.percentile(a, p)) for p in probes]
+        rows.append([name] + [percentile(a, p) for p in probes]
                     + [float(a.mean())])
     t = title or f"values in {unit} at CDF probe points"
     return format_table(headers, rows, title=t)

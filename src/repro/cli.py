@@ -33,7 +33,7 @@ from repro.analysis.report import format_cdf_probes, format_table
 from repro.experiments.registry import REGISTRY
 from repro.experiments.runner import SCHEDULERS, RunConfig, run_workload
 from repro.machine.base import MachineParams
-from repro.metrics.stats import improvement_summary
+from repro.metrics.stats import improvement_summary, percentile
 from repro.workload.faasbench import OPENLAMBDA_MIX, FaaSBench, FaaSBenchConfig
 
 
@@ -56,6 +56,9 @@ def _add_workload_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--trace", metavar="PATH", dest="trace",
                    help="record a structured trace (.json = Chrome "
                         "trace-event for Perfetto, .jsonl = JSON lines)")
+    p.add_argument("--metrics", metavar="PATH", dest="metrics",
+                   help="dump aggregated metrics (.jsonl = repro.metrics/1, "
+                        ".prom/.txt = Prometheus text, .html = report)")
     p.add_argument("--gauge-interval", type=int, default=10_000,
                    help="trace gauge sampling period in us")
     p.add_argument("--faults", metavar="PLAN.json",
@@ -120,7 +123,17 @@ def _fault_config(args) -> dict:
     return kwargs
 
 
-def _run(args, scheduler: str, trace_path: Optional[str] = None):
+def _check_parent(path: str, what: str) -> None:
+    parent = os.path.dirname(path)
+    if parent and not os.path.isdir(parent):
+        # fail before the (possibly long) run, not at write time
+        print(f"error: {what} directory does not exist: {parent}",
+              file=sys.stderr)
+        raise SystemExit(2)
+
+
+def _run(args, scheduler: str, trace_path: Optional[str] = None,
+         registry=None):
     from repro.trace import TraceRecorder, write_trace
 
     machine = MachineParams(n_cores=args.cores, ctx_switch_cost=args.ctx_cost)
@@ -129,17 +142,28 @@ def _run(args, scheduler: str, trace_path: Optional[str] = None):
                     **_fault_config(args))
     recorder = None
     if trace_path:
-        parent = os.path.dirname(trace_path)
-        if parent and not os.path.isdir(parent):
-            # fail before the (possibly long) run, not at write time
-            print(f"error: trace directory does not exist: {parent}",
-                  file=sys.stderr)
-            raise SystemExit(2)
+        _check_parent(trace_path, "trace")
         recorder = TraceRecorder(gauge_interval=args.gauge_interval)
-    res = run_workload(_workload(args), cfg, trace=recorder)
+    metrics_path = getattr(args, "metrics", None)
+    if registry is None and metrics_path:
+        from repro.obs import MetricsRegistry
+
+        _check_parent(metrics_path, "metrics")
+        registry = MetricsRegistry(gauge_interval=args.gauge_interval)
+    res = run_workload(_workload(args), cfg, trace=recorder, metrics=registry)
     if trace_path:
         write_trace(trace_path, recorder, res.manifest)
         print(f"wrote {len(recorder)} trace events to {trace_path}")
+    if metrics_path and registry is not None:
+        from repro.obs.export import write_html, write_metrics
+
+        if metrics_path.endswith(".html"):
+            write_html(metrics_path, registry, records=res.records,
+                       n_cores=args.cores,
+                       title=f"{scheduler} on {args.cores} cores")
+        else:
+            write_metrics(metrics_path, registry)
+        print(f"wrote {len(registry)} instruments to {metrics_path}")
     return res
 
 
@@ -150,8 +174,8 @@ def cmd_run(args) -> int:
     rows = [
         ("requests", len(res.records)),
         ("utilization", f"{res.utilization:.2f}"),
-        ("p50 (ms)", f"{np.percentile(t, 50) / 1e3:.1f}"),
-        ("p99 (ms)", f"{np.percentile(t, 99) / 1e3:.1f}"),
+        ("p50 (ms)", f"{percentile(t, 50) / 1e3:.1f}"),
+        ("p99 (ms)", f"{percentile(t, 99) / 1e3:.1f}"),
         ("mean (ms)", f"{t.mean() / 1e3:.1f}"),
         ("median RTE", f"{np.median(res.rtes):.3f}"),
         ("wall time (s)", f"{time.time() - t0:.1f}"),
@@ -230,6 +254,82 @@ def cmd_trace(args) -> int:
                     kinds[cat] = kinds.get(cat, 0) + 1
         rows = sorted(kinds.items())
         print(format_table(["kind", "events"], rows, title="trace summary"))
+    return rc
+
+
+def cmd_report(args) -> int:
+    """Run once with metrics on and render the observability report."""
+    from repro.obs import MetricsRegistry
+    from repro.obs.attribution import latency_table, sfs_accounting
+    from repro.obs.export import write_html, write_metrics
+
+    _check_parent(args.output, "report")
+    registry = MetricsRegistry(gauge_interval=args.gauge_interval,
+                               profile=args.profile)
+    t0 = time.time()
+    res = _run(args, args.scheduler, trace_path=args.trace, registry=registry)
+    print(latency_table(res.records))
+    sfs = sfs_accounting(registry)
+    if sfs:
+        rows = sorted(sfs.items())
+        print()
+        print(format_table(["SFS counter", "value"], rows))
+    if args.profile and registry.profiler is not None:
+        rep = registry.profiler.report()
+        print(f"\nself-profile: {rep['events_executed']:,} events in "
+              f"{rep['run_wall_s']:.2f}s wall "
+              f"({rep['events_per_sec']:,.0f} ev/s)")
+    if args.output.endswith((".jsonl", ".prom", ".txt")):
+        write_metrics(args.output, registry,
+                      include_profile=args.profile)
+    else:
+        write_html(args.output, registry, records=res.records,
+                   n_cores=args.cores,
+                   title=f"{args.scheduler} on {args.cores} cores, "
+                         f"load {args.load:.0%}")
+    print(f"\nwrote {args.output} ({len(registry)} instruments, "
+          f"{time.time() - t0:.1f}s)")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    """Headless perf snapshot + regression gate (repro.obs.bench)."""
+    from repro.obs import bench as obench
+
+    names = args.scenarios or None
+    print(f"running {len(names or obench.scenario_names())} scenarios "
+          f"({'quick' if args.quick else 'full'} sizing, "
+          f"best of {args.rounds})...")
+    doc = obench.run_scenarios(names=names, quick=args.quick,
+                               rounds=args.rounds, progress=print)
+    baseline_path = args.baseline or obench.find_baseline(
+        exclude=args.out)
+    rc = 0
+    if baseline_path:
+        base = obench.load_snapshot(baseline_path)
+        try:
+            rows = obench.compare(doc, base)
+        except ValueError as exc:
+            print(f"skipping comparison vs {baseline_path}: {exc}")
+            rows = []
+        if rows:
+            print(f"\nvs {baseline_path}:")
+            for r in rows:
+                flag = "  REGRESSED" if r["regressed"] else ""
+                print(f"  {r['scenario']:<16} {r['baseline_eps']:>12,.0f} "
+                      f"-> {r['current_eps']:>12,.0f} ev/s "
+                      f"(x{r['ratio']:.2f}){flag}")
+            regressed = [r for r in rows if r["regressed"]]
+            if regressed and not args.report_only:
+                print(f"\n{len(regressed)} scenario(s) regressed more than "
+                      f"{obench.REGRESSION_THRESHOLD:.0%}", file=sys.stderr)
+                rc = 1
+    else:
+        print("\nno committed BENCH_*.json baseline; this snapshot seeds "
+              "the trajectory")
+    if args.out:
+        obench.write_snapshot(args.out, doc)
+        print(f"wrote {args.out}")
     return rc
 
 
@@ -331,6 +431,34 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print per-kind event counts after writing")
     _add_workload_args(p_tr)
     p_tr.set_defaults(func=cmd_trace)
+
+    p_rep = sub.add_parser("report", help="run with metrics and render "
+                                          "the observability report")
+    p_rep.add_argument("output", metavar="PATH",
+                       help="report artifact (.html = self-contained page, "
+                            ".jsonl = repro.metrics/1, .prom = Prometheus)")
+    p_rep.add_argument("--scheduler", choices=SCHEDULERS, default="sfs")
+    p_rep.add_argument("--profile", action="store_true",
+                       help="also time the simulator itself (wall clock)")
+    _add_workload_args(p_rep)
+    p_rep.set_defaults(func=cmd_report, metrics=None)
+
+    p_bench = sub.add_parser("bench", help="headless perf snapshot "
+                                           "(events/sec per scenario)")
+    p_bench.add_argument("--out", metavar="PATH",
+                         help="write the repro.bench/1 snapshot here")
+    p_bench.add_argument("--baseline", metavar="PATH",
+                         help="compare against this snapshot (default: "
+                              "newest committed BENCH_*.json)")
+    p_bench.add_argument("--scenarios", nargs="+", metavar="NAME",
+                         help="subset of scenarios (default: all)")
+    p_bench.add_argument("--quick", action="store_true",
+                         help="smaller workloads (CI smoke)")
+    p_bench.add_argument("--rounds", type=int, default=3,
+                         help="timing rounds per scenario (best-of)")
+    p_bench.add_argument("--report-only", action="store_true",
+                         help="print regressions without failing")
+    p_bench.set_defaults(func=cmd_bench)
 
     p_exp = sub.add_parser("experiment", help="run paper artifacts")
     p_exp.add_argument("ids", nargs="+")

@@ -80,6 +80,38 @@ class SFS:
         # structured tracing: cached once; NULL_RECORDER when disabled
         self._trace = self.sim.trace
         self._trace_on = self._trace.enabled
+        # metric registry: same caching contract (repro.obs)
+        self._metrics = self.sim.metrics
+        self._metrics_on = self._metrics.enabled
+        if self._metrics_on:
+            m = self._metrics
+            self._m_submitted = m.counter(
+                "repro_sfs_submitted_total", help="requests entering SFS")
+            self._m_resubmitted = m.counter(
+                "repro_sfs_resubmitted_total", help="post-I/O re-enqueues")
+            self._m_promoted = m.counter(
+                "repro_sfs_promotions_total", help="FILTER promotions")
+            self._m_filter_finish = m.counter(
+                "repro_sfs_filter_finishes_total",
+                help="functions finishing inside their FILTER slice")
+            self._m_demote_slice = m.counter(
+                "repro_sfs_demotions_total", help="FILTER demotions",
+                labels={"reason": "slice"})
+            self._m_demote_io = m.counter(
+                "repro_sfs_demotions_total", help="FILTER demotions",
+                labels={"reason": "io"})
+            self._m_bypassed = m.counter(
+                "repro_sfs_overload_bypass_total",
+                help="requests left in CFS by the overload detector")
+            self._m_queue_delay = m.histogram(
+                "repro_sfs_queue_delay_us", unit="us",
+                help="global-queue residence at FILTER promotion")
+            self._m_slice_granted = m.histogram(
+                "repro_sfs_slice_granted_us", unit="us",
+                help="FILTER slice budget granted at promotion")
+            self._m_boost_us = m.counter(
+                "repro_sfs_boost_us_total", unit="us",
+                help="total virtual time spent FILTER-boosted")
         self.monitor = SliceMonitor(self.config, machine.n_cores, trace=self._trace)
         self.overload = OverloadDetector(self.config)
         self.overhead = OverheadMeter()
@@ -101,6 +133,8 @@ class SFS:
         self.stats.submitted += 1
         if self._trace_on:
             self._trace.emit(now, tev.SFS_SUBMIT, task.tid)
+        if self._metrics_on:
+            self._m_submitted.inc()
         self.monitor.record_arrival(now)
         self._push(QueueEntry(task=task, enqueue_ts=now, invoke_ts=invoke))
         self._drain()
@@ -173,6 +207,8 @@ class SFS:
                 if self._trace_on:
                     self._trace.emit(now, tev.SFS_OVERLOAD, task.tid,
                                      args=(delay, self.monitor.slice))
+                if self._metrics_on:
+                    self._m_bypassed.inc()
                 continue
             if self.config.io_aware and state is TaskState.BLOCKED:
                 # Found sleeping (e.g. leading I/O): watch until runnable.
@@ -203,6 +239,10 @@ class SFS:
         if self._trace_on:
             self._trace.emit(now, tev.SFS_PROMOTE, task.tid, worker.index,
                              args=(slice_left, now - entry.enqueue_ts))
+        if self._metrics_on:
+            self._m_promoted.inc()
+            self._m_queue_delay.observe(now - entry.enqueue_ts)
+            self._m_slice_granted.observe(slice_left)
         self._sched_op()
         self.machine.set_policy(task, SchedPolicy.FIFO, self.config.rt_priority)
         worker.slice_handle = self.sim.schedule(
@@ -231,6 +271,10 @@ class SFS:
                 if self._trace_on:
                     self._trace.emit(self.sim.now, tev.SFS_FILTER_FINISH,
                                      task.tid, worker.index)
+                if self._metrics_on:
+                    self._m_filter_finish.inc()
+            if self._metrics_on:
+                self._m_boost_us.inc(self.sim.now - worker.assigned_at)
             worker.clear()
             self._drain()
 
@@ -245,6 +289,9 @@ class SFS:
         if self._trace_on:
             self._trace.emit(self.sim.now, tev.SFS_DEMOTE_SLICE,
                              task.tid, worker.index)
+        if self._metrics_on:
+            self._m_demote_slice.inc()
+            self._m_boost_us.inc(self.sim.now - worker.assigned_at)
         self._sched_op()
         self._by_tid.pop(task.tid, None)
         worker.clear()
@@ -269,6 +316,9 @@ class SFS:
             if self._trace_on:
                 self._trace.emit(self.sim.now, tev.SFS_DEMOTE_IO,
                                  task.tid, worker.index, args=(left,))
+            if self._metrics_on:
+                self._m_demote_io.inc()
+                self._m_boost_us.inc(self.sim.now - worker.assigned_at)
             self._sched_op()
             self._by_tid.pop(task.tid, None)
             worker.clear()
@@ -317,6 +367,8 @@ class SFS:
             self.stats.resubmitted += 1
             if self._trace_on:
                 self._trace.emit(now, tev.SFS_RESUBMIT, entry.task.tid)
+            if self._metrics_on:
+                self._m_resubmitted.inc()
             self._push(
                 QueueEntry(
                     task=entry.task,

@@ -10,6 +10,7 @@ from dataclasses import dataclass, replace
 from typing import Dict
 
 import numpy as np
+from repro.metrics.stats import percentile
 
 from repro.analysis.report import format_table
 from repro.core.config import SFSConfig
@@ -110,8 +111,8 @@ def engine_disagreement(result: Result) -> float:
 
 def render(result: Result) -> str:
     rows = [
-        (name, f"{np.percentile(r.turnarounds, 50)/1e3:.1f}",
-         f"{np.percentile(r.turnarounds, 99)/1e3:.1f}",
+        (name, f"{percentile(r.turnarounds, 50)/1e3:.1f}",
+         f"{percentile(r.turnarounds, 99)/1e3:.1f}",
          f"{r.turnarounds.mean()/1e3:.1f}")
         for name, r in result.queue_runs.items()
     ]
@@ -121,7 +122,7 @@ def render(result: Result) -> str:
         title="ablation: global queue vs per-worker queues (SFS)",
     )
     rows2 = [
-        (name, f"{np.percentile(r.turnarounds, 50)/1e3:.1f}",
+        (name, f"{percentile(r.turnarounds, 50)/1e3:.1f}",
          f"{r.turnarounds.mean()/1e3:.1f}")
         for name, r in result.engine_runs.items()
     ]
@@ -148,7 +149,7 @@ def render(result: Result) -> str:
         longs = r.array("cpu_demand") >= 400_000
         rows4.append(
             (label,
-             f"{np.percentile(t, 50) / 1e3:.1f}",
+             f"{percentile(t, 50) / 1e3:.1f}",
              f"{t[longs].mean() / 1e3:.0f}" if longs.any() else "-",
              f"{t[~longs].mean() / 1e3:.1f}")
         )

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.machine.base import MachineParams
+from repro.metrics.stats import percentile, percentiles
 from repro.workload.faasbench import FaaSBench, FaaSBenchConfig
 from repro.workload.spec import Workload
 
@@ -84,3 +85,45 @@ class Scale:
     def test(cls) -> "Scale":
         """Sub-second sizing for the integration tests."""
         return cls(n_requests=800, n_cores=8, engine="fluid")
+
+
+# ----------------------------------------------------------------------
+# shared sweep summarisation (Figs 8/15, ext-slo, ...)
+# ----------------------------------------------------------------------
+def summarise_sweep(runs, summarise, label=None):
+    """Flatten a ``{load: {scheduler: RunResult}}`` sweep into table rows.
+
+    Every percentile-breakdown experiment iterates the same nested
+    sweep; this keeps the iteration (and the load/scheduler labelling)
+    in one place.  ``summarise`` maps one :class:`RunResult` to a tuple
+    of cells; ``label`` optionally rewrites the scheduler name (e.g.
+    ``"OL+cfs"``).
+    """
+    rows = []
+    for load, by_sched in runs.items():
+        for name, r in by_sched.items():
+            shown = label(name) if label is not None else name
+            rows.append((f"{load:.0%}", shown) + tuple(summarise(r)))
+    return rows
+
+
+def duration_percentiles(result, qs, scale=1e6):
+    """Execution-duration percentiles of one run, scaled (default: s).
+
+    Uses :func:`repro.metrics.stats.percentiles` — the single linear-
+    interpolation definition every figure shares.
+    """
+    ps = percentiles(result.turnarounds, qs)
+    return tuple(ps[q] / scale for q in qs)
+
+
+def percentile_ratio(runs, load, q, num="sfs", den="cfs"):
+    """``num``'s q-th duration percentile over ``den``'s at one load.
+
+    Fig 8's tail *price* (SFS p99.9 over CFS) and Fig 15's p99
+    *speedup* (CFS over SFS) are the same computation with the roles
+    swapped.
+    """
+    by_sched = runs[load]
+    return float(percentile(by_sched[num].turnarounds, q)
+                 / percentile(by_sched[den].turnarounds, q))

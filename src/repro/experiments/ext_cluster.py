@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Dict, Tuple
 
 import numpy as np
+from repro.metrics.stats import percentile
 
 from repro.analysis.report import format_table
 from repro.experiments.common import SHORT_CPU_BOUND_US, azure_sampled_workload, machine
@@ -84,8 +85,8 @@ def render(result: Result) -> str:
         rows.append(
             (
                 policy,
-                f"{np.percentile(t, 50) / 1e3:.1f}",
-                f"{np.percentile(t, 99) / 1e3:.0f}",
+                f"{percentile(t, 50) / 1e3:.1f}",
+                f"{percentile(t, 99) / 1e3:.0f}",
                 f"{t[~longs].mean() / 1e3:.1f}",
                 f"{t[longs].mean() / 1e3:.0f}",
             )

@@ -14,6 +14,7 @@ from dataclasses import dataclass, replace
 from typing import Dict, Tuple
 
 import numpy as np
+from repro.metrics.stats import percentile
 
 from repro.analysis.report import format_table
 from repro.experiments.common import CTX_SWITCH_COST, azure_sampled_workload
@@ -77,8 +78,8 @@ def render(result: Result) -> str:
                 (
                     fair,
                     mode,
-                    f"{np.percentile(t, 50) / 1e3:.1f}",
-                    f"{np.percentile(t, 90) / 1e3:.1f}",
+                    f"{percentile(t, 50) / 1e3:.1f}",
+                    f"{percentile(t, 90) / 1e3:.1f}",
                     f"{t.mean() / 1e3:.1f}",
                 )
             )

@@ -14,7 +14,11 @@ from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.analysis.report import format_table
-from repro.experiments.common import azure_sampled_workload, machine
+from repro.experiments.common import (
+    azure_sampled_workload,
+    machine,
+    summarise_sweep,
+)
 from repro.experiments.runner import RunConfig, run_many
 from repro.metrics.collector import RunResult
 from repro.metrics.slo import DEFAULT_SLOS, max_stretch_bound
@@ -50,18 +54,13 @@ def run(config: Config, seed: int = 0) -> Result:
 
 def attainment_rows(result: Result):
     rows = []
-    for load, by in result.runs.items():
-        for slo in DEFAULT_SLOS:
-            for name, r in by.items():
-                rows.append(
-                    (
-                        f"{load:.0%}",
-                        slo.name,
-                        name,
-                        slo.attainment(r.records),
-                        slo.satisfied(r.records),
-                    )
-                )
+    for slo in DEFAULT_SLOS:
+        for load_s, name, att, met in summarise_sweep(
+            result.runs,
+            lambda r, slo=slo: (slo.attainment(r.records),
+                                slo.satisfied(r.records)),
+        ):
+            rows.append((load_s, slo.name, name, att, met))
     return rows
 
 
@@ -75,17 +74,11 @@ def render(result: Result) -> str:
         rows,
         title="ext-slo: attainment of the paper's proposed stretch SLOs",
     )
-    rows2 = []
-    for load, by in result.runs.items():
-        for name, r in by.items():
-            rows2.append(
-                (
-                    f"{load:.0%}",
-                    name,
-                    f"{max_stretch_bound(r.records, 0.95):.1f}x",
-                    f"{max_stretch_bound(r.records, 0.99):.1f}x",
-                )
-            )
+    rows2 = summarise_sweep(
+        result.runs,
+        lambda r: (f"{max_stretch_bound(r.records, 0.95):.1f}x",
+                   f"{max_stretch_bound(r.records, 0.99):.1f}x"),
+    )
     t2 = format_table(
         ["load", "sched", "p95 stretch", "p99 stretch"],
         rows2,

@@ -11,6 +11,7 @@ from dataclasses import dataclass
 from typing import Dict
 
 import numpy as np
+from repro.metrics.stats import percentile
 
 from repro.analysis.report import format_cdf_probes, format_table
 from repro.experiments import loadsweep
@@ -40,8 +41,8 @@ def render(result: Result) -> str:
             (
                 f"{load:.0%}",
                 f"{short.mean():.3f}",
-                float(np.percentile(t_short, 50)) / 1000.0,
-                float(np.percentile(t_short, 90)) / 1000.0,
+                percentile(t_short, 50) / 1000.0,
+                percentile(t_short, 90) / 1000.0,
             )
         )
     parts.append(

@@ -8,14 +8,15 @@ CFS's (the price long functions pay); CFS's own p99.9 explodes from
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List
-
-import numpy as np
+from typing import List
 
 from repro.analysis.report import format_table
 from repro.experiments import loadsweep
-from repro.metrics.stats import percentiles
+from repro.experiments.common import (
+    duration_percentiles,
+    percentile_ratio,
+    summarise_sweep,
+)
 
 Config = loadsweep.Config
 Result = loadsweep.Result
@@ -25,20 +26,13 @@ QS = (50.0, 90.0, 99.0, 99.9)
 
 
 def breakdown(result: Result) -> List[tuple]:
-    rows = []
-    for load, by_sched in result.runs.items():
-        for name, r in by_sched.items():
-            ps = percentiles(r.turnarounds, QS)
-            rows.append((f"{load:.0%}", name) + tuple(ps[q] / 1e6 for q in QS))
-    return rows
+    return summarise_sweep(
+        result.runs, lambda r: duration_percentiles(r, QS))
 
 
 def tail_ratio(result: Result, load: float = 0.8) -> float:
     """SFS p99.9 over CFS p99.9 at the given load (paper: ~1.47 at 80 %)."""
-    by_sched = result.runs[load]
-    sfs = np.percentile(by_sched["sfs"].turnarounds, 99.9)
-    cfs = np.percentile(by_sched["cfs"].turnarounds, 99.9)
-    return float(sfs / cfs)
+    return percentile_ratio(result.runs, load, 99.9, num="sfs", den="cfs")
 
 
 def render(result: Result) -> str:

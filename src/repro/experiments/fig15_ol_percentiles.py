@@ -7,12 +7,13 @@ at 80 % / 90 % / 100 % load.
 
 from __future__ import annotations
 
-from typing import Dict
-
-import numpy as np
-
 from repro.analysis.report import format_table
 from repro.experiments import openlambda_sweep
+from repro.experiments.common import (
+    duration_percentiles,
+    percentile_ratio,
+    summarise_sweep,
+)
 
 Config = openlambda_sweep.Config
 Result = openlambda_sweep.Result
@@ -25,21 +26,15 @@ PAPER_P99_SPEEDUP = {0.8: 1.65, 0.9: 4.04, 1.0: 7.93}
 
 
 def p99_speedup(result: Result, load: float) -> float:
-    by = result.runs[load]
-    cfs = np.percentile(by["cfs"].turnarounds, 99)
-    sfs = np.percentile(by["sfs"].turnarounds, 99)
-    return float(cfs / sfs)
+    return percentile_ratio(result.runs, load, 99, num="cfs", den="sfs")
 
 
 def render(result: Result) -> str:
-    rows = []
-    for load, by_sched in result.runs.items():
-        for name, r in by_sched.items():
-            t = r.turnarounds / 1e6
-            rows.append(
-                (f"{load:.0%}", f"OL+{name}")
-                + tuple(f"{float(np.percentile(t, q)):.3f}" for q in QS)
-            )
+    rows = summarise_sweep(
+        result.runs,
+        lambda r: tuple(f"{v:.3f}" for v in duration_percentiles(r, QS)),
+        label=lambda name: f"OL+{name}",
+    )
     table = format_table(
         ["load", "system"] + [f"p{q:g} (s)" for q in QS],
         rows,

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Dict
 
 import numpy as np
+from repro.metrics.stats import percentile
 
 from repro.analysis.report import format_table
 from repro.experiments import openlambda_sweep
@@ -42,7 +43,7 @@ def render(result: Result) -> str:
                 f"{float((r > 1).mean()):.3f}",
                 f"{float((r >= 10).mean()):.3f}",
                 f"{float(np.median(r)):.1f}",
-                f"{float(np.percentile(r, 90)):.1f}",
+                f"{percentile(r, 90):.1f}",
             )
         )
     return format_table(

@@ -100,13 +100,17 @@ def _make_machine(sim: Simulator, cfg: RunConfig):
 
 
 def run_workload(
-    workload: Workload, cfg: RunConfig, trace: Optional[object] = None
+    workload: Workload, cfg: RunConfig, trace: Optional[object] = None,
+    metrics: Optional[object] = None,
 ) -> RunResult:
     """Execute ``workload`` under ``cfg`` and collect per-request records.
 
     Pass a :class:`repro.trace.TraceRecorder` as ``trace`` to capture the
-    structured event stream; the default records nothing and costs one
-    predicted branch per instrumentation site.
+    structured event stream, and/or a
+    :class:`repro.obs.MetricsRegistry` as ``metrics`` to aggregate
+    streaming instruments; both default to the zero-overhead nulls and
+    cost one predicted branch per instrumentation site.  Metric hooks
+    are read-only, so records are identical either way.
     """
     wall_start = time.perf_counter()
     checker = resolve_checker(
@@ -114,7 +118,7 @@ def run_workload(
         seed=workload.meta.get("seed"),
         label=f"scheduler={cfg.scheduler} engine={cfg.engine}",
     )
-    sim = Simulator(trace=trace, invariants=checker)
+    sim = Simulator(trace=trace, invariants=checker, metrics=metrics)
     tr = sim.trace
     if cfg.faults is not None:
         # a straggler entry for host 0 degrades this (single) machine

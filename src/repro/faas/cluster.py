@@ -33,6 +33,7 @@ from repro.metrics.collector import RunResult, build_records
 from repro.sim.engine import Simulator
 from repro.sim.task import Task
 from repro.sim.units import MS
+from repro.trace.gauges import attach_gauge_sampler
 from repro.workload.spec import RequestSpec, Workload
 
 PLACEMENT_POLICIES = ("round_robin", "least_loaded", "least_work", "offload_long")
@@ -98,6 +99,19 @@ class FaaSCluster:
                     sim.schedule_at(down_at, self._host_down, host)
                     sim.schedule_at(up_at, self._host_up, host)
         self._rr = 0
+        for idx, host in enumerate(self.hosts):
+            host.host_index = idx  # gauge labelling (see sample_gauges)
+        # metric registry: cached like the trace recorder (repro.obs)
+        self._metrics = sim.metrics
+        self._metrics_on = self._metrics.enabled
+        if self._metrics_on:
+            self._m_dispatch = [
+                self._metrics.counter(
+                    "repro_cluster_dispatch_total",
+                    help="requests placed on this host",
+                    labels={"host": str(i)})
+                for i in range(config.n_hosts)
+            ]
         self.predictor = DurationPredictor()
         #: per-host outstanding predicted CPU work (us) — an estimator:
         #: credit the prediction at dispatch, debit the measured CPU at
@@ -115,6 +129,8 @@ class FaaSCluster:
         """Global scheduler: pick a host and forward the invocation."""
         idx = self._place(spec)
         self.placements.append(idx)
+        if self._metrics_on:
+            self._m_dispatch[idx].inc()
         self._work[idx] += self.predictor.predict(spec.name or spec.app)
         self.hosts[idx].invoke(spec)
 
@@ -186,18 +202,23 @@ class FaaSCluster:
         return out
 
 
-def run_cluster(workload: Workload, config: ClusterConfig) -> RunResult:
+def run_cluster(workload: Workload, config: ClusterConfig,
+                trace=None, metrics=None) -> RunResult:
     """Replay a workload through the cluster; records merged across hosts.
 
     Invariant checking follows ``REPRO_INVARIANTS`` (see
     :mod:`repro.invariants`); one checker audits every host machine.
+    ``trace`` / ``metrics`` install a recorder / registry on the shared
+    simulator; per-host gauges (outstanding, keep-alive occupancy) are
+    labelled by host index.
     """
     checker = resolve_checker(
         None, seed=workload.meta.get("seed"),
         label=f"cluster[{config.placement}] scheduler={config.host.scheduler}",
     )
-    sim = Simulator(invariants=checker)
+    sim = Simulator(trace=trace, invariants=checker, metrics=metrics)
     cluster = FaaSCluster(sim, config)
+    attach_gauge_sampler(sim, extra=cluster.hosts)
     for spec in workload:
         sim.schedule_at(spec.arrival, cluster.dispatch, spec)
     sim.run()
@@ -211,6 +232,7 @@ def run_cluster(workload: Workload, config: ClusterConfig) -> RunResult:
         "placement": config.placement,
         "n_hosts": config.n_hosts,
         "placements": cluster.placements,
+        "events_executed": sim.events_executed,
     }
     if cluster.faults is not None:
         meta["fault_stats"] = cluster.faults.stats.as_dict()

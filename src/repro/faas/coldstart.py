@@ -126,3 +126,7 @@ class KeepAliveCache:
 
     def warm_count(self, app: str) -> int:
         return len(self._idle.get(app, []))
+
+    def warm_total(self) -> int:
+        """Warm containers across all applications (occupancy gauge)."""
+        return sum(len(idle) for idle in self._idle.values())

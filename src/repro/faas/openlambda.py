@@ -27,6 +27,8 @@ from repro.metrics.collector import RunResult, build_records
 from repro.sim.engine import Simulator
 from repro.sim.rng import SeedLike, make_rng
 from repro.sim.task import SchedPolicy, Task
+from repro.trace import events as tev
+from repro.trace.gauges import attach_gauge_sampler
 from repro.workload.spec import RequestSpec, Workload
 
 
@@ -124,6 +126,20 @@ class OpenLambdaPlatform:
         self._live: Dict[int, Task] = {}
         #: requests accepted but not yet finished (global-scheduler load)
         self.outstanding: int = 0
+        #: cluster slot for gauge labelling (-1 = standalone host)
+        self.host_index: int = -1
+        # metric registry: cached like the trace recorder (repro.obs)
+        self._metrics = sim.metrics
+        self._metrics_on = self._metrics.enabled
+        if self._metrics_on:
+            self._m_invocations = self._metrics.counter(
+                "repro_invocations_total", help="requests entering the gateway")
+            self._m_cold_starts = self._metrics.counter(
+                "repro_cold_starts_total",
+                help="invocations that missed the keep-alive cache")
+            self._m_coldstart_us = self._metrics.histogram(
+                "repro_coldstart_us",
+                help="container provisioning delay on a cache miss")
 
     # ------------------------------------------------------------------
     # invocation pipeline
@@ -133,6 +149,8 @@ class OpenLambdaPlatform:
         if self.faults is not None and not self.faults.admit(spec, self.outstanding):
             return  # load shed: 429 before any work happens
         self.outstanding += 1
+        if self._metrics_on:
+            self._m_invocations.inc()
         self._ingress(spec)
 
     def _ingress(self, spec: RequestSpec) -> None:
@@ -176,7 +194,11 @@ class OpenLambdaPlatform:
         delay = ov.sandbox_server.sample(self.rng)
         if self.coldstart is not None:
             # warm hit: 0; otherwise the container must be provisioned
-            delay += self.coldstart.acquire(spec.name or spec.app)
+            cold = self.coldstart.acquire(spec.name or spec.app)
+            delay += cold
+            if self._metrics_on and cold > 0:
+                self._m_cold_starts.inc()
+                self._m_coldstart_us.observe(cold)
         self.sim.schedule(delay, self._spawn, spec)
 
     def _spawn(self, spec: RequestSpec) -> None:
@@ -245,21 +267,40 @@ class OpenLambdaPlatform:
     def recover_host(self) -> None:
         self.down = False
 
+    # ------------------------------------------------------------------
+    # structured tracing / metrics
+    # ------------------------------------------------------------------
+    def sample_gauges(self, trace, now: int) -> None:
+        """Emit platform-level gauges (called by the periodic sampler).
 
-def run_openlambda(workload: Workload, config: OpenLambdaConfig) -> RunResult:
+        ``core`` carries the cluster host index (as in ``fault.host_*``
+        events); -1 on a standalone deployment.
+        """
+        trace.emit(now, tev.GAUGE_OUTSTANDING, core=self.host_index,
+                   args=(self.outstanding,))
+        if self.coldstart is not None:
+            trace.emit(now, tev.GAUGE_KEEPALIVE, core=self.host_index,
+                       args=(self.coldstart.warm_total(),))
+
+
+def run_openlambda(workload: Workload, config: OpenLambdaConfig,
+                   trace=None, metrics=None) -> RunResult:
     """Replay a workload through the full OpenLambda pipeline.
 
     Invariant checking follows ``REPRO_INVARIANTS`` (see
     :mod:`repro.invariants`): the checker audits the machine, runqueues
     and keep-alive cache during the run and the record/arrival closure
-    afterwards.
+    afterwards.  ``trace`` / ``metrics`` install a recorder / registry
+    on the simulator (defaults stay the zero-overhead nulls).
     """
     checker = resolve_checker(
         None, seed=workload.meta.get("seed"),
         label=f"openlambda scheduler={config.scheduler} engine={config.engine}",
     )
-    sim = Simulator(invariants=checker)
+    sim = Simulator(trace=trace, invariants=checker, metrics=metrics)
     platform = OpenLambdaPlatform(sim, config)
+    attach_gauge_sampler(sim, platform.machine, platform.sfs,
+                         extra=(platform,))
     for spec in workload:
         sim.schedule_at(spec.arrival, platform.invoke, spec)
     sim.run()
@@ -271,6 +312,7 @@ def run_openlambda(workload: Workload, config: OpenLambdaConfig) -> RunResult:
         )
     sfs = platform.sfs
     meta = dict(workload.meta)
+    meta["events_executed"] = sim.events_executed
     if platform.coldstart is not None:
         meta["coldstart_stats"] = platform.coldstart.stats
     if platform.faults is not None:

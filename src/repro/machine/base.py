@@ -94,6 +94,14 @@ class MachineBase:
         # recorder (install on the Simulator before building the machine)
         self._inv = sim.invariants
         self._inv_on = self._inv.enabled
+        # metric registry: same caching contract again (repro.obs)
+        self._metrics = sim.metrics
+        self._metrics_on = self._metrics.enabled
+        if self._metrics_on:
+            self._m_spawned = self._metrics.counter(
+                "repro_tasks_spawned_total", help="processes dispatched")
+            self._m_finished = self._metrics.counter(
+                "repro_tasks_finished_total", help="processes exited")
         # aggregate accounting
         self.busy_time: int = 0          # core-microseconds of CPU work done
         self.tasks_spawned: int = 0
@@ -174,5 +182,7 @@ class MachineBase:
             self._inv.on_task_finish(task, self.sim.now)
         if self._trace_on:
             self._trace.emit(self.sim.now, tev.TASK_FINISH, task.tid)
+        if self._metrics_on:
+            self._m_finished.inc()
         for cb in list(self._finish_callbacks):
             cb(task)

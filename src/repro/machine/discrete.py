@@ -18,6 +18,7 @@ import math
 from typing import List, Optional
 
 from repro.machine.base import MachineBase, MachineParams
+from repro.obs.profiler import perf_counter
 from repro.sched.cfs import CfsRunqueue
 from repro.sched.rt import RTRunqueue
 from repro.sim.engine import EventHandle, Simulator
@@ -82,6 +83,34 @@ class DiscreteMachine(MachineBase):
         #: straggler speed factor; the == 1.0 guard keeps the nominal
         #: path on exact integer arithmetic (bit-identical runs)
         self._speed = self.params.speed
+        if self._metrics_on:
+            from repro.obs.hooks import RunqueueObs
+
+            fair_obs = RunqueueObs(self._metrics, self.params.fair_class)
+            for core in self.cores:
+                core.rq.obs = fair_obs
+            self.rt_rq.obs = RunqueueObs(self._metrics, "rt")
+            self._m_slice_expiries = self._metrics.counter(
+                "repro_slice_expiries_total",
+                help="fair-class slice expiries that descheduled a task")
+            self._m_preemptions = self._metrics.counter(
+                "repro_preemptions_total",
+                help="involuntary off-CPU moves by a higher-claim task")
+            self._m_migrations = self._metrics.counter(
+                "repro_migrations_total", help="cross-core task resumes")
+            self._m_steals = self._metrics.counter(
+                "repro_steals_total", help="idle-balance pulls")
+        prof = self._metrics.profiler
+        if prof is not None:
+            # shadow the bound method so the nominal path stays untouched
+            impl = self._pick_next
+
+            def timed_pick(core: _Core) -> None:
+                t0 = perf_counter()
+                impl(core)
+                prof.add("discrete.pick_next", perf_counter() - t0)
+
+            self._pick_next = timed_pick  # type: ignore[method-assign]
 
     # ==================================================================
     # public API
@@ -91,6 +120,8 @@ class DiscreteMachine(MachineBase):
             raise RuntimeError(f"task {task.tid} already spawned")
         task.dispatch_time = self.sim.now
         self.tasks_spawned += 1
+        if self._metrics_on:
+            self._m_spawned.inc()
         task._last_run_core = None  # type: ignore[attr-defined]
         first = task.current_burst
         assert first is not None
@@ -231,6 +262,8 @@ class DiscreteMachine(MachineBase):
                 self._trace.emit(self.sim.now, tev.TASK_DESCHEDULE,
                                  victim.tid, core.index,
                                  (tev.DESCHED_PREEMPT,))
+            if self._metrics_on:
+                self._m_preemptions.inc()
             self._make_ready(victim)
             core.task = None
             victim._rq_core = core.index  # type: ignore[attr-defined]
@@ -292,6 +325,8 @@ class DiscreteMachine(MachineBase):
                     self._trace.emit(self.sim.now, tev.TASK_DESCHEDULE,
                                      victim.tid, core.index,
                                      (tev.DESCHED_PREEMPT,))
+                if self._metrics_on:
+                    self._m_preemptions.inc()
                 self._make_ready(victim)
                 core.task = None
             # Start the RT task *before* re-enqueuing the victim:
@@ -348,6 +383,8 @@ class DiscreteMachine(MachineBase):
             return None
         task = busiest.rq.pick_next()
         assert task is not None
+        if self._metrics_on:
+            self._m_steals.inc()
         return task
 
     def _start(self, core: _Core, task: Task) -> None:
@@ -367,6 +404,8 @@ class DiscreteMachine(MachineBase):
         migrated = last is not None and last != core.index
         if migrated:
             task.migrations += 1
+            if self._metrics_on:
+                self._m_migrations.inc()
         if self._trace_on:
             tr = self._trace
             if migrated:
@@ -457,6 +496,8 @@ class DiscreteMachine(MachineBase):
             if self._trace_on:
                 self._trace.emit(self.sim.now, tev.TASK_DESCHEDULE,
                                  task.tid, core.index, (tev.DESCHED_SLICE,))
+            if self._metrics_on:
+                self._m_slice_expiries.inc()
             self._make_ready(task)
             core.task = None
             task._rq_core = core.index  # type: ignore[attr-defined]

@@ -31,6 +31,7 @@ import math
 from typing import Optional
 
 from repro.machine.base import MachineBase, MachineParams
+from repro.obs.profiler import perf_counter
 from repro.sched.rt import RTRunqueue
 from repro.sim.engine import EventHandle, Simulator
 from repro.sim.task import BurstKind, SchedPolicy, Task, TaskState
@@ -67,6 +68,25 @@ class FluidMachine(MachineBase):
         # Chrome exporter per-core tracks for dedicated/FILTER tasks)
         self._rt_slots: dict[int, int] = {}         # tid -> slot
         self._free_slots: list[int] = list(range(self.n_cores))
+        if self._metrics_on:
+            from repro.obs.hooks import RunqueueObs
+
+            self.rt_wait.obs = RunqueueObs(self._metrics, "rt")
+            self._m_pool_enters = self._metrics.counter(
+                "repro_pool_enters_total", help="tasks entering the CFS pool")
+            self._m_rt_starts = self._metrics.counter(
+                "repro_rt_starts_total", help="dedicated-core RT starts")
+        prof = self._metrics.profiler
+        if prof is not None:
+            # shadow the bound method so the nominal path stays untouched
+            impl = self._advance
+
+            def timed_advance() -> None:
+                t0 = perf_counter()
+                impl()
+                prof.add("fluid.advance", perf_counter() - t0)
+
+            self._advance = timed_advance  # type: ignore[method-assign]
 
     # ==================================================================
     # public API
@@ -76,6 +96,8 @@ class FluidMachine(MachineBase):
             raise RuntimeError(f"task {task.tid} already spawned")
         task.dispatch_time = self.sim.now
         self.tasks_spawned += 1
+        if self._metrics_on:
+            self._m_spawned.inc()
         first = task.current_burst
         assert first is not None
         if first.kind is BurstKind.IO:
@@ -240,6 +262,8 @@ class FluidMachine(MachineBase):
         self._pool[task.tid] = task
         if self._trace_on:
             self._trace.emit(self.sim.now, tev.TASK_RUN, task.tid)
+        if self._metrics_on:
+            self._m_pool_enters.inc()
         heapq.heappush(self._heap, (target, next(self._seq), task))
         self._reschedule_pool_event()
 
@@ -367,6 +391,8 @@ class FluidMachine(MachineBase):
             wall, self._on_rt_completion, task
         )
         self._rt_running[task.tid] = task
+        if self._metrics_on:
+            self._m_rt_starts.inc()
         if self._trace_on:
             slot = heapq.heappop(self._free_slots) if self._free_slots else -1
             if slot >= 0:

@@ -29,15 +29,24 @@ def ecdf(values: ArrayLike) -> Tuple[np.ndarray, np.ndarray]:
     return a, y
 
 
+#: the one interpolation method used everywhere a figure computes a
+#: percentile: linear interpolation between closest ranks (NumPy's
+#: documented default, Hyndman & Fan type 7).  Pinned explicitly so the
+#: quantile-sketch tolerance tests compare against a stable definition
+#: even if NumPy's default ever moves.
+PERCENTILE_METHOD = "linear"
+
+
 def percentile(values: ArrayLike, q: float) -> float:
-    """Single percentile (q in [0, 100])."""
-    return float(np.percentile(_arr(values), q))
+    """Single percentile (q in [0, 100]), linear interpolation."""
+    return float(np.percentile(_arr(values), q, method=PERCENTILE_METHOD))
 
 
 def percentiles(values: ArrayLike, qs: Sequence[float] = (50, 90, 95, 99, 99.9)) -> Dict[float, float]:
-    """Percentile breakdown used by Figs 8 and 15."""
+    """Percentile breakdown used by Figs 8 and 15 (linear method)."""
     a = _arr(values)
-    return {q: float(np.percentile(a, q)) for q in qs}
+    return {q: float(np.percentile(a, q, method=PERCENTILE_METHOD))
+            for q in qs}
 
 
 def fraction_below(values: ArrayLike, bound: float) -> float:
@@ -90,4 +99,5 @@ def slowdown_percentiles(
     """Percentiles of baseline/treatment slowdown — Fig 2's '16x at p40,
     24x at p70' comparison of CFS against SRTF."""
     s = paired_speedup(baseline, treatment)  # baseline / treatment: > 1
-    return {q: float(np.percentile(s, q)) for q in qs}
+    return {q: float(np.percentile(s, q, method=PERCENTILE_METHOD))
+            for q in qs}

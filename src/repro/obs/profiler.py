@@ -1,0 +1,90 @@
+"""Host-side self-profiler: where does the *simulator* spend wall time?
+
+Virtual-time metrics describe the modelled system; this module times
+the model itself.  :class:`HostProfiler` keeps one accumulator per
+named site (event dispatch, runqueue picks, fluid advances) and derives
+an events/second throughput figure, so "the discrete engine got slower"
+shows up as a number instead of a feeling — this is what ``repro
+bench`` builds on.
+
+Wall-clock data is host-dependent by definition, so it is **never**
+part of the deterministic metrics snapshot; exporters pull it via
+:meth:`HostProfiler.report` only when explicitly asked.
+
+The hot-path API is deliberately tiny: callers bracket a region with
+``t0 = perf_counter()`` … ``prof.add(site, perf_counter() - t0)``.  A
+context-manager or decorator would cost an allocation per event, which
+at millions of events per run is the difference between a profiler and
+a heisenberg.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+perf_counter = time.perf_counter
+
+
+class _SiteStats:
+    """Accumulated wall time for one profiled site."""
+
+    __slots__ = ("calls", "total_s", "max_s")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.total_s = 0.0
+        self.max_s = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "calls": self.calls,
+            "total_s": self.total_s,
+            "mean_us": (self.total_s / self.calls * 1e6) if self.calls else 0.0,
+            "max_us": self.max_s * 1e6,
+        }
+
+
+class HostProfiler:
+    """Per-site wall-clock accumulators + run-level throughput."""
+
+    __slots__ = ("sites", "run_wall_s", "events_executed")
+
+    def __init__(self) -> None:
+        self.sites: Dict[str, _SiteStats] = {}
+        self.run_wall_s: float = 0.0
+        self.events_executed: int = 0
+
+    def add(self, site: str, elapsed_s: float) -> None:
+        st = self.sites.get(site)
+        if st is None:
+            st = self.sites[site] = _SiteStats()
+        st.calls += 1
+        st.total_s += elapsed_s
+        if elapsed_s > st.max_s:
+            st.max_s = elapsed_s
+
+    def note_run(self, wall_s: float, events_executed: int) -> None:
+        """Record one completed ``Simulator.run`` span."""
+        self.run_wall_s += wall_s
+        self.events_executed += events_executed
+
+    @property
+    def events_per_sec(self) -> float:
+        if self.run_wall_s <= 0.0:
+            return 0.0
+        return self.events_executed / self.run_wall_s
+
+    def report(self) -> Dict[str, object]:
+        """Host-dependent profile — kept out of deterministic dumps."""
+        return {
+            "run_wall_s": self.run_wall_s,
+            "events_executed": self.events_executed,
+            "events_per_sec": self.events_per_sec,
+            "sites": {name: self.sites[name].as_dict()
+                      for name in sorted(self.sites)},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<HostProfiler {len(self.sites)} sites "
+                f"{self.events_per_sec:.0f} ev/s>")

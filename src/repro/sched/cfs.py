@@ -77,6 +77,9 @@ class CfsRunqueue:
         # observability: lifetime enqueue count and peak depth
         self.total_enqueued: int = 0
         self.peak_depth: int = 0
+        #: optional repro.obs.hooks.RunqueueObs; the machine attaches it
+        #: when a MetricsRegistry is installed (None = zero overhead)
+        self.obs = None
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -112,6 +115,8 @@ class CfsRunqueue:
         depth = len(self._nodes)
         if depth > self.peak_depth:
             self.peak_depth = depth
+        if self.obs is not None:
+            self.obs.on_enqueue(depth)
 
     def dequeue(self, task: Task) -> None:
         """Remove a specific task (e.g. promoted to the RT class)."""
@@ -131,6 +136,8 @@ class CfsRunqueue:
         del self._nodes[task.tid]
         self.total_weight -= task.weight
         self._refresh_min_vruntime(curr_vruntime=task.vruntime)
+        if self.obs is not None:
+            self.obs.on_pick()
         return task
 
     def peek_next(self) -> Optional[Task]:

@@ -58,6 +58,9 @@ class EevdfRunqueue:
         self.params = params
         self._tasks: List[Task] = []
         self.min_vruntime: int = 0  # kept for interface parity
+        #: optional repro.obs.hooks.RunqueueObs; the machine attaches it
+        #: when a MetricsRegistry is installed (None = zero overhead)
+        self.obs = None
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -94,6 +97,8 @@ class EevdfRunqueue:
         self.min_vruntime = max(
             self.min_vruntime, int(min(t.vruntime for t in self._tasks))
         )
+        if self.obs is not None:
+            self.obs.on_enqueue(len(self._tasks))
 
     def dequeue(self, task: Task) -> None:
         for i, t in enumerate(self._tasks):
@@ -111,6 +116,8 @@ class EevdfRunqueue:
         pool = eligible if eligible else self._tasks
         best = min(pool, key=lambda t: (t._eevdf_deadline, t.tid))  # type: ignore[attr-defined]
         self.dequeue(best)
+        if self.obs is not None:
+            self.obs.on_pick()
         return best
 
     def peek_next(self) -> Optional[Task]:

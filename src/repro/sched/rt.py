@@ -40,6 +40,9 @@ class RTRunqueue:
         # observability: lifetime enqueue count and peak depth
         self.total_enqueued: int = 0
         self.peak_depth: int = 0
+        #: optional repro.obs.hooks.RunqueueObs; the machine attaches it
+        #: when a MetricsRegistry is installed (None = zero overhead)
+        self.obs = None
 
     def __len__(self) -> int:
         live = 0
@@ -63,6 +66,8 @@ class RTRunqueue:
         depth = len(self._members)
         if depth > self.peak_depth:
             self.peak_depth = depth
+        if self.obs is not None:
+            self.obs.on_enqueue(depth)
 
     def remove(self, task: Task) -> None:
         """Lazy removal (e.g. task re-classed to CFS while queued)."""
@@ -77,6 +82,8 @@ class RTRunqueue:
             return None
         _p, _s, task = heapq.heappop(self._heap)
         self._members.discard(task.tid)
+        if self.obs is not None:
+            self.obs.on_pick()
         return task
 
     def peek(self) -> Optional[Task]:

@@ -16,6 +16,8 @@ import heapq
 from typing import Any, Callable, Optional
 
 from repro.invariants.checker import NULL_CHECKER
+from repro.obs.profiler import perf_counter
+from repro.obs.registry import NULL_REGISTRY
 from repro.trace.recorder import NULL_RECORDER
 
 
@@ -80,10 +82,18 @@ class Simulator:
     :data:`repro.invariants.checker.NULL_CHECKER` and must be installed
     before the machine is built, because every instrumented layer caches
     it (and its ``enabled`` flag) at construction time.
+
+    ``metrics`` follows the same contract again for the metric registry
+    (:mod:`repro.obs`): default is the shared no-op
+    :data:`repro.obs.registry.NULL_REGISTRY`; install a real
+    :class:`repro.obs.MetricsRegistry` before building the machine.
+    Metric hooks are read-only with respect to virtual time, so an
+    enabled run is bit-identical to a disabled one.
     """
 
     def __init__(self, trace: Optional[Any] = None,
-                 invariants: Optional[Any] = None) -> None:
+                 invariants: Optional[Any] = None,
+                 metrics: Optional[Any] = None) -> None:
         self.now: int = 0
         self._heap: list[tuple[int, int, EventHandle]] = []
         self._seq: int = 0
@@ -92,6 +102,9 @@ class Simulator:
         self.trace = trace if trace is not None else NULL_RECORDER
         self.invariants = invariants if invariants is not None else NULL_CHECKER
         self._inv_on = self.invariants.enabled
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        # host self-profiler (wall clock around dispatch); None when off
+        self._prof = self.metrics.profiler
 
     # ------------------------------------------------------------------
     # scheduling
@@ -135,7 +148,12 @@ class Simulator:
         callback, args = handle.callback, handle.args
         handle.cancel()  # consumed; release references
         self.events_executed += 1
-        callback(*args)
+        if self._prof is None:
+            callback(*args)
+        else:
+            t0 = perf_counter()
+            callback(*args)
+            self._prof.add("sim.dispatch", perf_counter() - t0)
         return True
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> None:
@@ -154,6 +172,7 @@ class Simulator:
             raise SimulationError("Simulator.run is not reentrant")
         self._running = True
         executed = 0
+        t0 = perf_counter() if self._prof is not None else 0.0
         try:
             while True:
                 nxt = self.peek_time()
@@ -170,6 +189,8 @@ class Simulator:
                 executed += 1
         finally:
             self._running = False
+            if self._prof is not None:
+                self._prof.note_run(perf_counter() - t0, executed)
         if until is not None and self.now < until:
             self.now = until
 

@@ -112,6 +112,8 @@ GAUGE_RT_RUNNING = "gauge.rt_running"    # fluid dedicated-core count
 GAUGE_GLOBAL_QUEUE = "gauge.global_queue"  # SFS global queue length
 GAUGE_WATCH_LIST = "gauge.watch_list"      # SFS watch-list size
 GAUGE_BUSY_WORKERS = "gauge.busy_workers"  # occupied FILTER workers
+GAUGE_KEEPALIVE = "gauge.keepalive"        # warm containers cached
+GAUGE_OUTSTANDING = "gauge.outstanding"    # invocations in flight
 
 #: payload slot names per kind (tuples zip positionally with ``args``).
 EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
@@ -152,6 +154,8 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     GAUGE_GLOBAL_QUEUE: ("value",),
     GAUGE_WATCH_LIST: ("value",),
     GAUGE_BUSY_WORKERS: ("value",),
+    GAUGE_KEEPALIVE: ("value",),
+    GAUGE_OUTSTANDING: ("value",),
 }
 
 #: kinds that open / close the per-core on-CPU span pairing.

@@ -5,7 +5,15 @@ the queues while it happened* — the paper's queueing-delay story
 (Fig 12) is invisible without them.  The sampler is one self-
 rescheduling simulator event that asks the machine (and the SFS layer,
 when present) to emit their ``gauge.*`` snapshots every
-``trace.gauge_interval`` microseconds.
+``gauge_interval`` microseconds.
+
+Since repro.obs, samples are routed through a
+:class:`repro.obs.hooks.GaugeSink` fanout: the metric registry gets a
+:class:`~repro.obs.instruments.Gauge` update per kind, and the trace
+recorder — when enabled — receives exactly the event stream it recorded
+before the registry existed (the trace track is now a thin adapter over
+the sink).  The sampler runs when *either* consumer is enabled; with
+only the null recorder and null registry installed it remains a no-op.
 
 Termination: the simulator runs until its heap drains, so a timer that
 always rearmed itself would keep the run alive forever.  The sampler
@@ -15,24 +23,42 @@ long-lived as the run it observes.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable, Optional
 
 
-def attach_gauge_sampler(sim, machine, sfs: Optional[object] = None) -> None:
-    """Sample machine (and SFS) gauges on ``sim.trace``'s interval.
+def attach_gauge_sampler(sim, machine: Optional[object] = None,
+                         sfs: Optional[object] = None,
+                         extra: Iterable[object] = ()) -> None:
+    """Sample machine (and SFS) gauges periodically.
 
-    A no-op when the simulator's recorder is the NullRecorder.
+    ``extra`` lists additional sources exposing ``sample_gauges(sink,
+    now)`` (e.g. an OpenLambda platform for keep-alive occupancy);
+    ``machine`` may be None when only extras are sampled (a cluster
+    samples per-host platform gauges, not one host's machine-wide
+    ones).  A no-op when both the recorder and the metric registry are
+    the null defaults.  The interval comes from the trace recorder when
+    tracing is on (so a traced run samples identically whether or not
+    metrics ride along), otherwise from the registry.
     """
     trace = sim.trace
-    if not trace.enabled:
+    metrics = sim.metrics
+    if not trace.enabled and not metrics.enabled:
         return
-    interval = trace.gauge_interval
+    from repro.obs.hooks import GaugeSink  # leaf import; avoids a cycle
+
+    sink = GaugeSink(metrics, trace)
+    interval = trace.gauge_interval if trace.enabled else metrics.gauge_interval
+    sources = []
+    if machine is not None:
+        sources.append(machine)
+    if sfs is not None:
+        sources.append(sfs)
+    sources.extend(extra)
 
     def sample() -> None:
         now = sim.now
-        machine.sample_gauges(trace, now)
-        if sfs is not None:
-            sfs.sample_gauges(trace, now)
+        for src in sources:
+            src.sample_gauges(sink, now)
         if sim.pending > 0:  # rearm only while the run is still live
             sim.schedule(interval, sample)
 

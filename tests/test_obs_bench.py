@@ -1,0 +1,136 @@
+"""Tests for the perf-trajectory harness and the report/bench CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import bench as obench
+
+
+def _fake_snapshot(eps_by_name, quick=False):
+    return {
+        "schema": obench.BENCH_SCHEMA,
+        "quick": quick,
+        "rounds": 1,
+        "host": {"python": "x", "platform": "test"},
+        "scenarios": {
+            name: {"desc": name, "wall_s": 1.0, "events": int(eps),
+                   "events_per_sec": float(eps), "peak_rss_kb": 1}
+            for name, eps in eps_by_name.items()
+        },
+    }
+
+
+def test_run_scenarios_schema_valid():
+    doc = obench.run_scenarios(names=["micro_fluid", "micro_discrete"],
+                               quick=True, rounds=1)
+    obench.validate_snapshot(doc)  # raises on malformed output
+    for s in doc["scenarios"].values():
+        assert s["events"] > 0
+        assert s["wall_s"] > 0
+        assert s["events_per_sec"] > 0
+        assert s["peak_rss_kb"] > 0
+
+
+def test_run_scenarios_rejects_unknown():
+    with pytest.raises(ValueError, match="unknown scenario"):
+        obench.run_scenarios(names=["nope"])
+
+
+def test_validate_snapshot_rejects_malformed():
+    with pytest.raises(ValueError):
+        obench.validate_snapshot({"schema": "other/1"})
+    with pytest.raises(ValueError):
+        obench.validate_snapshot({"schema": obench.BENCH_SCHEMA,
+                                  "scenarios": {}})
+    bad = _fake_snapshot({"a": 100.0})
+    del bad["scenarios"]["a"]["events_per_sec"]
+    with pytest.raises(ValueError):
+        obench.validate_snapshot(bad)
+
+
+def test_compare_flags_regressions_only_past_threshold():
+    base = _fake_snapshot({"a": 1000.0, "b": 1000.0, "c": 1000.0})
+    cur = _fake_snapshot({"a": 790.0,     # -21 %: regressed
+                          "b": 850.0,     # -15 %: within threshold
+                          "c": 1500.0,    # improvement
+                          "d": 10.0})     # new scenario: not compared
+    rows = {r["scenario"]: r for r in obench.compare(cur, base)}
+    assert rows["a"]["regressed"]
+    assert not rows["b"]["regressed"]
+    assert not rows["c"]["regressed"]
+    assert "d" not in rows
+
+
+def test_compare_refuses_quick_vs_full():
+    with pytest.raises(ValueError, match="quick"):
+        obench.compare(_fake_snapshot({"a": 1.0}, quick=True),
+                       _fake_snapshot({"a": 1.0}, quick=False))
+
+
+def test_find_baseline_numeric_pr_order(tmp_path):
+    for n in (2, 4, 10):
+        (tmp_path / f"BENCH_PR{n}.json").write_text("{}")
+    # numeric, not lexicographic: PR10 beats PR4
+    assert obench.find_baseline(str(tmp_path)).endswith("BENCH_PR10.json")
+    out = str(tmp_path / "BENCH_PR10.json")
+    assert obench.find_baseline(str(tmp_path),
+                                exclude=out).endswith("BENCH_PR4.json")
+    assert obench.find_baseline(str(tmp_path / "empty")) is None
+
+
+def test_snapshot_roundtrip(tmp_path):
+    doc = _fake_snapshot({"a": 123.0})
+    path = str(tmp_path / "BENCH_PRX.json")
+    obench.write_snapshot(path, doc)
+    assert obench.load_snapshot(path) == doc
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_bench_writes_snapshot_and_gates(tmp_path, capsys):
+    out = str(tmp_path / "BENCH_PRX.json")
+    rc = main(["bench", "--quick", "--rounds", "1",
+               "--scenarios", "micro_fluid", "--out", out])
+    assert rc == 0
+    doc = json.load(open(out))
+    obench.validate_snapshot(doc)
+
+    # a faster fake baseline must fail the gate...
+    base = str(tmp_path / "base.json")
+    eps = doc["scenarios"]["micro_fluid"]["events_per_sec"]
+    obench.write_snapshot(base, _fake_snapshot(
+        {"micro_fluid": eps * 100}, quick=True))
+    rc = main(["bench", "--quick", "--rounds", "1",
+               "--scenarios", "micro_fluid", "--baseline", base])
+    assert rc == 1
+    # ...unless the comparison is report-only
+    rc = main(["bench", "--quick", "--rounds", "1", "--report-only",
+               "--scenarios", "micro_fluid", "--baseline", base])
+    assert rc == 0
+    assert "REGRESSED" in capsys.readouterr().out
+
+
+def test_cli_report_html(tmp_path, capsys):
+    out = str(tmp_path / "report.html")
+    rc = main(["report", out, "--requests", "200", "--cores", "8",
+               "--load", "0.8", "--seed", "3", "--profile"])
+    assert rc == 0
+    page = open(out).read()
+    assert page.startswith("<!doctype html>")
+    assert "Where did the latency go" in page
+    assert "self-profile" in capsys.readouterr().out
+
+
+def test_cli_run_metrics_dump(tmp_path):
+    out = str(tmp_path / "m.jsonl")
+    rc = main(["run", "--requests", "200", "--cores", "8",
+               "--seed", "3", "--metrics", out])
+    assert rc == 0
+    first = json.loads(open(out).readline())
+    assert first["schema"] == "repro.metrics/1"
+    assert first["instruments"] > 0

@@ -1,0 +1,109 @@
+"""Property-based tests for the DDSketch-style quantile sketch.
+
+The sketch's contract: for any quantile ``q``, the estimate is within
+*relative* error ``gamma`` of the exact order statistic at the targeted
+rank ``round(q * (n - 1))``.  Hypothesis hunts for adversarial
+distributions — huge dynamic ranges, duplicate-heavy samples, values
+straddling the zero bucket — and the sandwich must hold for all of
+them.  Insertion order must not matter (the sketch is a bag of bucket
+counts), and merging two sketches must equal sketching the
+concatenation.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.stats import percentile as linear_percentile
+from repro.obs.instruments import MIN_TRACKABLE, QuantileSketch
+
+#: adversarial: spans 18 orders of magnitude, includes exact zeros and
+#: sub-trackable values that collapse into the zero bucket
+values_strategy = st.lists(
+    st.one_of(
+        st.floats(min_value=0.0, max_value=1e12, allow_nan=False,
+                  allow_infinity=False),
+        st.floats(min_value=0.0, max_value=1e-6),
+        st.integers(min_value=0, max_value=10).map(float),  # duplicates
+    ),
+    min_size=1,
+    max_size=400,
+)
+
+QS = (0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0)
+
+
+def _fill(values, gamma=0.01):
+    sk = QuantileSketch(gamma=gamma)
+    for v in values:
+        sk.add(v)
+    return sk
+
+
+@given(values_strategy)
+@settings(max_examples=200)
+def test_quantile_within_relative_error_of_exact_rank(values):
+    sk = _fill(values)
+    s = sorted(values)
+    for q in QS:
+        rank = int(q * (len(s) - 1) + 0.5)
+        exact = s[rank]
+        est = sk.quantile(q)
+        # relative gamma bound, plus the zero-bucket absolute floor
+        assert abs(est - exact) <= sk.gamma * exact + MIN_TRACKABLE
+
+
+@given(values_strategy)
+@settings(max_examples=100)
+def test_insertion_order_is_irrelevant(values):
+    fwd = _fill(values)
+    rev = _fill(list(reversed(values)))
+    for q in QS:
+        assert fwd.quantile(q) == rev.quantile(q)
+
+
+@given(values_strategy, values_strategy)
+@settings(max_examples=100)
+def test_merge_equals_concatenation(a, b):
+    merged = _fill(a)
+    merged.merge(_fill(b))
+    together = _fill(a + b)
+    assert merged.count == together.count
+    for q in QS:
+        assert merged.quantile(q) == together.quantile(q)
+
+
+@given(st.lists(st.floats(min_value=1.0, max_value=1e9, allow_nan=False,
+                          allow_infinity=False),
+                min_size=20, max_size=400))
+@settings(max_examples=100)
+def test_sketch_close_to_linear_percentiles(values):
+    """The figure scripts use linear interpolation; the sketch must
+    agree within gamma plus one inter-rank gap (interpolation picks a
+    point between the two ranks the sketch rounds across)."""
+    sk = _fill(values)
+    s = sorted(values)
+    n = len(s)
+    for q in (0.5, 0.99):
+        exact = linear_percentile(s, q * 100)
+        lo = s[max(0, int(q * (n - 1)) - 1)]
+        hi = s[min(n - 1, int(q * (n - 1)) + 2)]
+        est = sk.quantile(q)
+        # est is within gamma of SOME sample in the rank neighbourhood
+        # that linear interpolation (exact = between lo and hi) draws on
+        assert lo <= exact <= hi
+        assert (1 - sk.gamma) * lo <= est <= (1 + sk.gamma) * hi
+
+
+@given(st.integers(min_value=1, max_value=5000))
+@settings(max_examples=30)
+def test_bucket_count_stays_logarithmic(n):
+    """O(1) memory claim: n observations over a fixed dynamic range
+    never allocate more than O(log(max/min)/log(gbar)) buckets."""
+    sk = QuantileSketch(gamma=0.01)
+    for i in range(1, n + 1):
+        sk.add(float(i))
+    # range [1, 5000] at gamma=0.01 -> log(5000)/log(1.0202) ~ 426
+    assert len(sk.buckets) <= 430
+    assert sk.count == n
