@@ -8,6 +8,8 @@ The subcommands cover the common flows without writing Python::
     python -m repro experiment fig6 headline ext-eevdf
     python -m repro experiment chaos headline --out results/ --resume
     python -m repro check --quick
+    python -m repro fuzz --budget 200 --seed 0 --out findings/
+    python -m repro fuzz replay tests/corpus/case.json
     python -m repro list
 
 ``run`` and ``compare`` generate a FaaSBench workload and print the
@@ -393,6 +395,59 @@ def cmd_check(args) -> int:
     return 1 if failed else 0
 
 
+def cmd_fuzz(args) -> int:
+    """Seeded chaos fuzzing: campaign mode, or ``fuzz replay CASE``."""
+    if getattr(args, "fuzz_command", None) == "replay":
+        return _fuzz_replay(args)
+    from repro.fuzz import run_campaign
+
+    registry = None
+    if args.metrics:
+        from repro.obs import MetricsRegistry
+
+        _check_parent(args.metrics, "metrics")
+        registry = MetricsRegistry()
+    summary = run_campaign(
+        budget=args.budget,
+        seed=args.seed,
+        out_dir=args.out,
+        metrics=registry,
+        case_seconds=args.watchdog,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    # stdout carries only the deterministic summary: two campaigns with
+    # the same (budget, seed) on the same tree print identical bytes
+    print(summary.render())
+    if registry is not None:
+        from repro.obs.export import write_metrics
+
+        write_metrics(args.metrics, registry)
+        print(f"wrote {len(registry)} instruments to {args.metrics}",
+              file=sys.stderr)
+    return 1 if summary.findings else 0
+
+
+def _fuzz_replay(args) -> int:
+    """Replay saved reproducers; exit 1 if any violation reproduces."""
+    from repro.fuzz import ReproCase
+
+    reproduced = False
+    for path in args.cases:
+        try:
+            case = ReproCase.load(path)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        violation = case.replay()
+        expect = "expected" if case.expect_violation else "NOT expected"
+        if violation is None:
+            print(f"{path}: clean (violation was {expect})")
+        else:
+            reproduced = True
+            print(f"{path}: {violation.render()} (violation was {expect})")
+    return 1 if reproduced else 0
+
+
 def cmd_validate(args) -> int:
     from repro.analysis.validate import render, run_battery
 
@@ -481,6 +536,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="small workloads (CI smoke)")
     p_chk.add_argument("--seed", type=int, default=21)
     p_chk.set_defaults(func=cmd_check)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="seeded chaos fuzzing with metamorphic oracles",
+    )
+    p_fuzz.add_argument("--budget", type=int, default=50,
+                        help="cases to generate (ids are (seed, 0..N-1))")
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="campaign seed; any case replays from "
+                             "(seed, index) alone")
+    p_fuzz.add_argument("--out", metavar="DIR",
+                        help="write shrunk reproducers (ReproCase JSON) here")
+    p_fuzz.add_argument("--watchdog", type=float, default=60.0,
+                        metavar="SECONDS",
+                        help="wall-clock budget per case (0 disables)")
+    p_fuzz.add_argument("--metrics", metavar="PATH",
+                        help="dump campaign counters (.jsonl/.prom)")
+    p_fuzz.set_defaults(func=cmd_fuzz)
+    fuzz_sub = p_fuzz.add_subparsers(dest="fuzz_command")
+    p_replay = fuzz_sub.add_parser(
+        "replay", help="replay saved reproducers (exit 1 if one fires)")
+    p_replay.add_argument("cases", nargs="+", metavar="CASE.json")
+    p_replay.set_defaults(func=cmd_fuzz)
 
     p_list = sub.add_parser("list", help="list available experiments")
     p_list.set_defaults(func=cmd_list)

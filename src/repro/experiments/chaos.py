@@ -32,7 +32,11 @@ from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.analysis.report import format_table
-from repro.experiments.common import azure_sampled_workload, machine
+from repro.experiments.common import (
+    azure_sampled_workload,
+    machine,
+    summarise_sweep,
+)
 from repro.faas.cluster import ClusterConfig, run_cluster
 from repro.faas.openlambda import OpenLambdaConfig
 from repro.faults import AdmissionControl, FaultPlan, RetryPolicy
@@ -131,24 +135,21 @@ def goodput_gain(result: Result, scenario: str) -> float:
     return sfs.goodput_rps / cfs.goodput_rps if cfs.goodput_rps else float("inf")
 
 
+def _cells(r: RunResult) -> Tuple[str, ...]:
+    s = fault_summary(r)
+    att = CHAOS_SLO.attainment(r.records)
+    return (
+        f"{s.goodput_rps:.1f}",
+        f"{s.goodput_fraction:.1%}",
+        f"{s.retries_per_request:.3f}",
+        f"{s.shed_rate:.1%}",
+        f"{s.abandonment_rate:.1%}",
+        f"{att:.1%}",
+    )
+
+
 def render(result: Result) -> str:
-    rows = []
-    for scenario, by_sched in result.runs.items():
-        for scheduler, r in by_sched.items():
-            s = fault_summary(r)
-            att = CHAOS_SLO.attainment(r.records)
-            rows.append(
-                (
-                    scenario,
-                    scheduler,
-                    f"{s.goodput_rps:.1f}",
-                    f"{s.goodput_fraction:.1%}",
-                    f"{s.retries_per_request:.3f}",
-                    f"{s.shed_rate:.1%}",
-                    f"{s.abandonment_rate:.1%}",
-                    f"{att:.1%}",
-                )
-            )
+    rows = summarise_sweep(result.runs, _cells, key_fmt=str)
     table = format_table(
         ["scenario", "sched", "goodput (r/s)", "good %", "retries/req",
          "shed %", "abandoned %", f"SLO ({CHAOS_SLO.name})"],

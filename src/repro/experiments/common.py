@@ -90,20 +90,24 @@ class Scale:
 # ----------------------------------------------------------------------
 # shared sweep summarisation (Figs 8/15, ext-slo, ...)
 # ----------------------------------------------------------------------
-def summarise_sweep(runs, summarise, label=None):
-    """Flatten a ``{load: {scheduler: RunResult}}`` sweep into table rows.
+def summarise_sweep(runs, summarise, label=None, key_fmt=None):
+    """Flatten a ``{key: {scheduler: RunResult}}`` sweep into table rows.
 
     Every percentile-breakdown experiment iterates the same nested
-    sweep; this keeps the iteration (and the load/scheduler labelling)
+    sweep; this keeps the iteration (and the key/scheduler labelling)
     in one place.  ``summarise`` maps one :class:`RunResult` to a tuple
     of cells; ``label`` optionally rewrites the scheduler name (e.g.
-    ``"OL+cfs"``).
+    ``"OL+cfs"``); ``key_fmt`` formats the outer key — the default
+    renders a float load as a percentage, chaos passes ``str`` for its
+    scenario names.
     """
+    if key_fmt is None:
+        key_fmt = lambda load: f"{load:.0%}"  # noqa: E731
     rows = []
-    for load, by_sched in runs.items():
+    for key, by_sched in runs.items():
         for name, r in by_sched.items():
             shown = label(name) if label is not None else name
-            rows.append((f"{load:.0%}", shown) + tuple(summarise(r)))
+            rows.append((key_fmt(key), shown) + tuple(summarise(r)))
     return rows
 
 

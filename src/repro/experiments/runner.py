@@ -65,6 +65,11 @@ class RunConfig:
     #: checker on, False forces it off, None (default) defers to the
     #: ``REPRO_INVARIANTS`` environment variable (CI sets it)
     invariants: Optional[bool] = None
+    #: runaway guard: abort with :class:`repro.sim.engine.SimulationError`
+    #: if the run executes more than this many events (None = unbounded,
+    #: the exact nominal path).  Armed per-case by the fuzz harness so a
+    #: livelocked schedule fails loudly instead of spinning forever.
+    max_events: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.scheduler not in SCHEDULERS:
@@ -75,6 +80,8 @@ class RunConfig:
             raise ValueError("notify_latency must be >= 0")
         if self.timeout is not None and self.timeout <= 0:
             raise ValueError("timeout must be positive (us)")
+        if self.max_events is not None and self.max_events <= 0:
+            raise ValueError("max_events must be positive")
 
     @property
     def fault_handling(self) -> bool:
@@ -113,12 +120,12 @@ def run_workload(
     are read-only, so records are identical either way.
     """
     wall_start = time.perf_counter()
+    label = f"scheduler={cfg.scheduler} engine={cfg.engine}"
     checker = resolve_checker(
-        cfg.invariants,
-        seed=workload.meta.get("seed"),
-        label=f"scheduler={cfg.scheduler} engine={cfg.engine}",
+        cfg.invariants, seed=workload.meta.get("seed"), label=label,
     )
-    sim = Simulator(trace=trace, invariants=checker, metrics=metrics)
+    sim = Simulator(trace=trace, invariants=checker, metrics=metrics,
+                    label=label)
     tr = sim.trace
     if cfg.faults is not None:
         # a straggler entry for host 0 degrades this (single) machine
@@ -198,7 +205,7 @@ def run_workload(
     entry = dispatch if governor is None else arrive
     for spec in workload:
         sim.schedule_at(spec.arrival, entry, spec)
-    sim.run()
+    sim.run(max_events=cfg.max_events)
 
     unfinished = [s.req_id for s, t in pairs if not t.finished]
     if unfinished:

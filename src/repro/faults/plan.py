@@ -84,17 +84,40 @@ class FaultPlan:
                 f"host_failures must be (host_index, down_at_us, up_at_us) "
                 f"triples, got {self.host_failures!r}: {exc}"
             ) from None
+        straggling = set()
         for host, speed in self.stragglers:
             if host < 0:
                 raise ValueError("straggler host index must be >= 0")
             # the explicit != ordering also rejects NaN speeds
             if not (0.0 < speed <= 1.0) or speed != speed:
                 raise ValueError(f"straggler speed {speed} not in (0, 1]")
+            if host in straggling:
+                raise ValueError(
+                    f"host {host} appears twice in stragglers; one entry "
+                    f"per host (straggler_speed would silently use the first)"
+                )
+            straggling.add(host)
+        windows: dict = {}
         for host, down_at, up_at in self.host_failures:
             if host < 0:
                 raise ValueError("failed host index must be >= 0")
             if not (0 <= down_at < up_at):
                 raise ValueError("host failure needs 0 <= down_at < up_at")
+            for other_down, other_up in windows.get(host, ()):
+                if down_at < other_up and other_down < up_at:
+                    raise ValueError(
+                        f"host {host} has overlapping failure windows "
+                        f"[{other_down}, {other_up}) and [{down_at}, "
+                        f"{up_at}); a host cannot fail while already down"
+                    )
+            windows.setdefault(host, []).append((down_at, up_at))
+        contradicted = straggling & set(windows)
+        if contradicted:
+            raise ValueError(
+                f"host(s) {sorted(contradicted)} appear in both stragglers "
+                f"and host_failures; a degraded-but-alive host and a dead "
+                f"host are contradictory fault models — pick one per host"
+            )
 
     # ------------------------------------------------------------------
     # stochastic decisions (hashed, interleaving-independent)

@@ -1,0 +1,39 @@
+"""repro.fuzz: seeded chaos fuzzing with metamorphic oracles.
+
+The invariant checker (PR 3) and differential battery only audit
+workloads a human thought to write.  This package searches for the
+workloads nobody thought to write:
+
+* :mod:`repro.fuzz.generators` — biased random
+  workload × fault-plan × config triples, every case a pure function of
+  ``(campaign_seed, index)`` so any case replays bit-identically from
+  its id alone;
+* :mod:`repro.fuzz.oracles` — the existing conservation-law and
+  differential oracles plus metamorphic properties (adding idle cores,
+  scaling durations, dropping fault components, permuting equal-time
+  arrivals);
+* :mod:`repro.fuzz.shrink` — delta debugging that reduces a failing
+  case to a minimal reproducer;
+* :mod:`repro.fuzz.corpus` — ``ReproCase`` JSON serialization and the
+  checked-in regression corpus under ``tests/corpus/``;
+* :mod:`repro.fuzz.campaign` — the ``repro fuzz`` campaign driver.
+"""
+
+from repro.fuzz.campaign import CampaignSummary, run_campaign
+from repro.fuzz.corpus import ReproCase, load_corpus
+from repro.fuzz.generators import FuzzCase, make_case
+from repro.fuzz.oracles import ORACLES, Violation, applicable_oracles
+from repro.fuzz.shrink import shrink_case
+
+__all__ = [
+    "CampaignSummary",
+    "FuzzCase",
+    "ORACLES",
+    "ReproCase",
+    "Violation",
+    "applicable_oracles",
+    "load_corpus",
+    "make_case",
+    "run_campaign",
+    "shrink_case",
+]

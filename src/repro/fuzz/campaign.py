@@ -1,0 +1,198 @@
+"""The campaign driver behind ``repro fuzz``.
+
+One campaign is ``budget`` cases drawn from ``(seed, 0..budget-1)``:
+generate, sweep the applicable oracles in registry order, shrink the
+first finding, and (optionally) write the minimal reproducer as a
+``ReproCase`` JSON under ``out_dir``.  Each case runs under the
+SIGALRM watchdog from :mod:`repro.experiments.artifacts`, so a case
+that is slow *in wall time* (as opposed to livelocked in virtual time,
+which the per-case ``max_events`` guard catches) is recorded as a
+timeout instead of hanging the campaign.
+
+Everything in the summary is derived from the seed and the runs — no
+wall-clock timestamps, no paths outside ``out_dir`` — so two campaigns
+with the same ``(budget, seed)`` on the same tree render **byte-
+identical** summaries.  That property is itself under test: it is what
+makes a campaign finding citable ("seed 7, index 23") rather than
+anecdotal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.experiments.artifacts import ExperimentTimeout, watchdog
+from repro.fuzz.corpus import ReproCase
+from repro.fuzz.generators import make_case, plan_component_count
+from repro.fuzz.oracles import ORACLES, applicable_oracles
+from repro.fuzz.shrink import DEFAULT_BUDGET, shrink_case
+
+#: per-case wall-clock bound (seconds) unless the caller overrides it
+DEFAULT_CASE_SECONDS = 60.0
+
+
+def _stable_detail(detail: str) -> str:
+    """The replay-stable prefix of a violation detail.
+
+    Task ids are a process-global counter, so ``tid=...`` (and anything
+    after it) differs between the campaign process and a later
+    ``repro fuzz replay`` process; everything before it — invariant
+    name, charged/demanded amounts, virtual time — is case state."""
+    return detail.split(" tid=")[0]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One violating case, after shrinking."""
+
+    index: int
+    oracle: str
+    detail: str
+    #: size of the original and minimised workloads
+    n_requests: int
+    shrunk_requests: int
+    shrunk_components: int
+    #: reproducer filename (relative to out_dir), when one was written
+    filename: str = ""
+
+
+@dataclass
+class CampaignSummary:
+    """Deterministic digest of one campaign (see module docstring)."""
+
+    seed: int
+    budget: int
+    n_clean: int = 0
+    n_timeouts: int = 0
+    #: oracle name -> cases whose gate accepted it
+    applicable: Dict[str, int] = field(default_factory=dict)
+    findings: List[Finding] = field(default_factory=list)
+    timeouts: List[int] = field(default_factory=list)
+
+    @property
+    def n_findings(self) -> int:
+        return len(self.findings)
+
+    def render(self) -> str:
+        lines = [
+            f"fuzz campaign: seed={self.seed} budget={self.budget}",
+            f"  clean: {self.n_clean}  findings: {self.n_findings}"
+            f"  timeouts: {self.n_timeouts}",
+            "  oracle applicability:",
+        ]
+        for oracle in ORACLES:  # registry order, not dict order
+            n = self.applicable.get(oracle.name, 0)
+            lines.append(f"    {oracle.name:<24} {n:>4}/{self.budget}")
+        if self.timeouts:
+            lines.append(f"  timed-out case indices: {self.timeouts}")
+        for f in self.findings:
+            lines.append(
+                f"  [{self.seed}:{f.index}] {f.oracle}: "
+                f"{f.n_requests} -> {f.shrunk_requests} requests, "
+                f"{f.shrunk_components} fault component(s)"
+                + (f" -> {f.filename}" if f.filename else "")
+            )
+            lines.append(f"      {f.detail}")
+        return "\n".join(lines)
+
+
+def run_campaign(
+    budget: int,
+    seed: int,
+    out_dir: Optional[Union[str, Path]] = None,
+    metrics: Optional[object] = None,
+    case_seconds: Optional[float] = DEFAULT_CASE_SECONDS,
+    shrink_checks: int = DEFAULT_BUDGET,
+    progress: Optional[Callable[[str], None]] = None,
+) -> CampaignSummary:
+    """Fuzz ``budget`` cases from ``seed``; shrink and save findings.
+
+    ``metrics`` is an optional :class:`repro.obs.MetricsRegistry`;
+    ``progress`` an optional line sink (the CLI passes stderr printing,
+    keeping stdout reserved for the deterministic summary).
+    """
+    if budget <= 0:
+        raise ValueError("budget must be positive")
+    summary = CampaignSummary(seed=seed, budget=budget)
+    out: Optional[Path] = None
+    if out_dir is not None:
+        out = Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+
+    c_cases = c_violations = c_timeouts = c_oracle_runs = None
+    if metrics is not None:
+        c_cases = metrics.counter(
+            "repro_fuzz_cases_total", help="fuzz cases executed")
+        c_violations = metrics.counter(
+            "repro_fuzz_violations_total", help="oracle findings")
+        c_timeouts = metrics.counter(
+            "repro_fuzz_timeouts_total", help="cases killed by the watchdog")
+        c_oracle_runs = metrics.counter(
+            "repro_fuzz_oracle_runs_total", help="oracle invocations")
+
+    for index in range(budget):
+        case = make_case(seed, index)
+        oracles = applicable_oracles(case)
+        for oracle in oracles:
+            summary.applicable[oracle.name] = \
+                summary.applicable.get(oracle.name, 0) + 1
+        if c_cases is not None:
+            c_cases.inc()
+            c_oracle_runs.inc(len(oracles))
+        violation = None
+        hit = None
+        try:
+            with watchdog(case_seconds):
+                for oracle in oracles:
+                    violation = oracle.check(case)
+                    if violation is not None:
+                        hit = oracle
+                        break
+                if violation is not None:
+                    shrunk = shrink_case(case, hit, max_checks=shrink_checks)
+        except ExperimentTimeout:
+            summary.n_timeouts += 1
+            summary.timeouts.append(index)
+            if c_timeouts is not None:
+                c_timeouts.inc()
+            if progress is not None:
+                progress(f"[{seed}:{index}] TIMEOUT after {case_seconds}s")
+            continue
+        if violation is None:
+            summary.n_clean += 1
+            if progress is not None and (index + 1) % 10 == 0:
+                progress(f"[{seed}:{index}] ... {index + 1}/{budget} clean "
+                         f"so far: {summary.n_clean}")
+            continue
+        if c_violations is not None:
+            c_violations.inc()
+        filename = ""
+        if out is not None:
+            # pin what the *shrunk* case says, not the original: the
+            # reproducer is the shrunk case, and its violation detail
+            # (amounts, virtual times) differs from the full case's
+            final = hit.check(shrunk) or violation
+            filename = f"repro-{seed}-{index}.json"
+            ReproCase.from_fuzz_case(
+                shrunk, oracle=hit.name,
+                expected=_stable_detail(final.detail),
+                expect_violation=True,
+                note=f"found by `repro fuzz --budget {budget} --seed {seed}`",
+            ).save(out / filename)
+        finding = Finding(
+            index=index,
+            oracle=hit.name,
+            detail=violation.detail,
+            n_requests=len(case.workload),
+            shrunk_requests=len(shrunk.workload),
+            shrunk_components=plan_component_count(shrunk.config.faults),
+            filename=filename,
+        )
+        summary.findings.append(finding)
+        if progress is not None:
+            progress(f"[{seed}:{index}] {hit.name}: shrunk "
+                     f"{finding.n_requests} -> {finding.shrunk_requests} "
+                     f"requests")
+    return summary

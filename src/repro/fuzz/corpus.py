@@ -1,0 +1,273 @@
+"""The regression corpus: replayable ``ReproCase`` JSON files.
+
+A shrunk finding is only worth anything if it outlives the campaign
+that found it, so every case serialises to a small, strict, versioned
+JSON document (schema ``repro.fuzz/1``) that pins:
+
+* the exact workload (req_ids, arrivals, packed burst strings — the
+  same lossless ``cpu:us;io:us`` format as :mod:`repro.workload.io`);
+* the exact run configuration (machine, fault plan, policies,
+  ``max_events`` guard);
+* which oracle flagged it and what the violation said
+  (``expect_violation`` distinguishes a pinned *open* reproducer from a
+  hard case checked in to stay green).
+
+Files under ``tests/corpus/`` are replayed by a tier-1 test: a healthy
+tree must keep every green case green, and any future change that trips
+one gets the minimal reproducer as its bug report.  Loading is strict —
+unknown fields, bad types, or an unknown oracle fail loudly rather than
+replaying something other than what was saved.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.experiments.runner import RunConfig
+from repro.faults.plan import FaultPlan
+from repro.faults.policy import AdmissionControl, RetryPolicy
+from repro.fuzz.generators import FuzzCase
+from repro.fuzz.oracles import ORACLE_BY_NAME, Violation
+from repro.machine.base import MachineParams
+from repro.workload.io import pack_bursts, unpack_bursts
+from repro.workload.spec import RequestSpec, Workload
+
+SCHEMA = "repro.fuzz/1"
+
+
+def _strict(data: dict, known: Tuple[str, ...], where: str) -> None:
+    if not isinstance(data, dict):
+        raise ValueError(f"{where} must be a JSON object, "
+                         f"got {type(data).__name__}")
+    unknown = set(data) - set(known)
+    if unknown:
+        raise ValueError(f"unknown {where} fields: {sorted(unknown)} "
+                         f"(known: {sorted(known)})")
+
+
+@dataclass(frozen=True)
+class ReproCase:
+    """One serialised reproducer (see module docstring)."""
+
+    oracle: str
+    workload: Workload
+    config: RunConfig
+    #: does replaying this case on a healthy tree reproduce a violation?
+    #: False = a hard case pinned to stay green (the regression corpus);
+    #: True = an open finding awaiting a fix.
+    expect_violation: bool = False
+    #: the violation detail observed when the case was found (kept for
+    #: the human reading the file; replay matches on it when expecting)
+    expected: str = ""
+    note: str = ""
+    campaign_seed: Optional[int] = None
+    index: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.oracle not in ORACLE_BY_NAME:
+            raise ValueError(
+                f"unknown oracle {self.oracle!r} "
+                f"(known: {sorted(ORACLE_BY_NAME)})"
+            )
+
+    # ------------------------------------------------------------------
+    # replay
+    # ------------------------------------------------------------------
+    def as_fuzz_case(self) -> FuzzCase:
+        return FuzzCase(
+            campaign_seed=self.campaign_seed if self.campaign_seed is not None else -1,
+            index=self.index if self.index is not None else -1,
+            workload=self.workload,
+            config=self.config,
+        )
+
+    def replay(self) -> Optional[Violation]:
+        """Run the named oracle against the pinned case."""
+        oracle = ORACLE_BY_NAME[self.oracle]
+        case = self.as_fuzz_case()
+        if not oracle.applies(case):
+            raise ValueError(
+                f"corpus case no longer satisfies the {self.oracle!r} "
+                f"oracle's applicability gate — the saved config and the "
+                f"oracle have drifted apart"
+            )
+        return oracle.check(case)
+
+    def replays_as_expected(self) -> Tuple[bool, str]:
+        """(ok, message): does replay match ``expect_violation``?"""
+        violation = self.replay()
+        if self.expect_violation:
+            if violation is None:
+                return False, ("expected a violation but the case now "
+                               "passes — fixed? promote it to a green "
+                               "corpus case (expect_violation=false)")
+            if self.expected and self.expected not in violation.detail:
+                return False, (f"violation reproduced but changed: "
+                               f"{violation.detail!r} does not contain "
+                               f"{self.expected!r}")
+            return True, f"violation reproduced: {violation.render()}"
+        if violation is not None:
+            return False, f"regression: {violation.render()}"
+        return True, "green"
+
+    # ------------------------------------------------------------------
+    # serialisation
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        cfg = self.config
+        data: dict = {
+            "schema": SCHEMA,
+            "oracle": self.oracle,
+            "expect_violation": self.expect_violation,
+            "expected": self.expected,
+            "note": self.note,
+            "campaign_seed": self.campaign_seed,
+            "index": self.index,
+            "workload": {
+                "meta": {
+                    k: v for k, v in self.workload.meta.items()
+                    if isinstance(v, (str, int, float, bool, type(None)))
+                },
+                "requests": [
+                    {
+                        "req_id": r.req_id,
+                        "arrival": r.arrival,
+                        "bursts": pack_bursts(r.bursts),
+                        "name": r.name,
+                        "app": r.app,
+                    }
+                    for r in self.workload
+                ],
+            },
+            "config": {
+                "scheduler": cfg.scheduler,
+                "engine": cfg.engine,
+                "machine": {
+                    "n_cores": cfg.machine.n_cores,
+                    "ctx_switch_cost": cfg.machine.ctx_switch_cost,
+                    "speed": cfg.machine.speed,
+                    "fair_class": cfg.machine.fair_class,
+                },
+                "notify_latency": cfg.notify_latency,
+                "faults": cfg.faults.to_json() if cfg.faults else None,
+                "retry": {
+                    "max_attempts": cfg.retry.max_attempts,
+                    "base_backoff": cfg.retry.base_backoff,
+                    "max_backoff": cfg.retry.max_backoff,
+                    "seed": cfg.retry.seed,
+                } if cfg.retry else None,
+                "admission": {
+                    "max_outstanding": cfg.admission.max_outstanding,
+                } if cfg.admission else None,
+                "timeout": cfg.timeout,
+                "max_events": cfg.max_events,
+            },
+        }
+        return data
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ReproCase":
+        _strict(data, ("schema", "oracle", "expect_violation", "expected",
+                       "note", "campaign_seed", "index", "workload",
+                       "config"), "ReproCase")
+        if data.get("schema") != SCHEMA:
+            raise ValueError(f"unsupported schema {data.get('schema')!r} "
+                             f"(expected {SCHEMA!r})")
+        wl = data["workload"]
+        _strict(wl, ("meta", "requests"), "workload")
+        requests: List[RequestSpec] = []
+        for i, row in enumerate(wl["requests"]):
+            _strict(row, ("req_id", "arrival", "bursts", "name", "app"),
+                    f"request[{i}]")
+            requests.append(RequestSpec(
+                req_id=int(row["req_id"]),
+                arrival=row["arrival"],
+                bursts=unpack_bursts(row["bursts"]),
+                name=str(row.get("name", "")),
+                app=str(row.get("app", "")),
+            ))
+        workload = Workload(requests, dict(wl.get("meta") or {}))
+
+        c = data["config"]
+        _strict(c, ("scheduler", "engine", "machine", "notify_latency",
+                    "faults", "retry", "admission", "timeout",
+                    "max_events"), "config")
+        m = c["machine"]
+        _strict(m, ("n_cores", "ctx_switch_cost", "speed", "fair_class"),
+                "machine")
+        config = RunConfig(
+            scheduler=c["scheduler"],
+            engine=c["engine"],
+            machine=MachineParams(
+                n_cores=int(m["n_cores"]),
+                ctx_switch_cost=int(m["ctx_switch_cost"]),
+                speed=float(m.get("speed", 1.0)),
+                fair_class=str(m.get("fair_class", "cfs")),
+            ),
+            notify_latency=int(c["notify_latency"]),
+            faults=FaultPlan.from_json(c["faults"]) if c["faults"] else None,
+            retry=RetryPolicy(**c["retry"]) if c["retry"] else None,
+            admission=AdmissionControl(**c["admission"])
+            if c["admission"] else None,
+            timeout=c["timeout"],
+            max_events=c["max_events"],
+        )
+        return cls(
+            oracle=str(data["oracle"]),
+            workload=workload,
+            config=config,
+            expect_violation=bool(data.get("expect_violation", False)),
+            expected=str(data.get("expected", "")),
+            note=str(data.get("note", "")),
+            campaign_seed=data.get("campaign_seed"),
+            index=data.get("index"),
+        )
+
+    @classmethod
+    def from_fuzz_case(
+        cls,
+        case: FuzzCase,
+        oracle: str,
+        expected: str = "",
+        expect_violation: bool = True,
+        note: str = "",
+    ) -> "ReproCase":
+        return cls(
+            oracle=oracle,
+            workload=case.workload,
+            config=case.config,
+            expect_violation=expect_violation,
+            expected=expected,
+            note=note,
+            campaign_seed=case.campaign_seed if case.campaign_seed >= 0 else None,
+            index=case.index if case.index >= 0 else None,
+        )
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n"
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ReproCase":
+        try:
+            data = json.loads(Path(path).read_text())
+        except ValueError as exc:
+            raise ValueError(f"{path}: not valid JSON: {exc}") from None
+        try:
+            return cls.from_json(data)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"{path}: {exc}") from None
+
+
+def load_corpus(directory: Union[str, Path]) -> List[Tuple[Path, ReproCase]]:
+    """Load every ``*.json`` reproducer under ``directory``, sorted by
+    filename so iteration order (and CI output) is deterministic."""
+    root = Path(directory)
+    out: List[Tuple[Path, ReproCase]] = []
+    for path in sorted(root.glob("*.json")):
+        out.append((path, ReproCase.load(path)))
+    return out

@@ -1,0 +1,216 @@
+"""Failure minimisation: ddmin over requests, then everything else.
+
+A campaign finding is only useful if a human can read it.  The shrinker
+takes a failing :class:`FuzzCase` + the oracle that flagged it and
+greedily removes everything that is not needed to keep the oracle
+failing, in four stages:
+
+1. **requests** — Zeller's ddmin over the request list.  Subsets keep
+   their *original* ``req_id``s: fault draws are keyed by
+   ``(seed, req_id, attempt)``, so renumbering would change which
+   requests crash and lose the failure.
+2. **fault plan** — drop whole components (crash, coldstart,
+   stragglers), then the retry/timeout/admission policies.
+3. **config** — fold toward the simplest machine: fluid engine, cfs
+   scheduler/fair class, zero context-switch cost, zero notify latency,
+   fewer cores, arrivals collapsed to t=0.
+4. **durations** — repeated halving of burst durations, globally then
+   per request.
+
+Every stage re-runs the oracle through one budget-capped ``attempt``
+helper, so a pathological case costs a bounded number of simulations
+(the cap is generous: shrinking normally converges in far fewer).  The
+result is the smallest variant the budget found, never worse than the
+input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, List, Optional
+
+from repro.fuzz.generators import FuzzCase
+from repro.fuzz.oracles import Oracle
+from repro.sim.task import Burst
+from repro.workload.spec import RequestSpec, Workload
+
+#: default cap on oracle invocations per shrink
+DEFAULT_BUDGET = 400
+
+
+class _Budget:
+    def __init__(self, limit: int):
+        self.limit = limit
+        self.spent = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.spent >= self.limit
+
+
+def _still_fails(case: FuzzCase, oracle: Oracle, budget: _Budget) -> bool:
+    """Does ``oracle`` still flag ``case``?  Exceptions the oracle does
+    not classify itself (e.g. a shrunk config failing validation) mean
+    "no" — the candidate is rejected, not the shrink."""
+    if budget.exhausted:
+        return False
+    budget.spent += 1
+    try:
+        return oracle.applies(case) and oracle.check(case) is not None
+    except Exception:
+        return False
+
+
+def _with_requests(case: FuzzCase, requests: List[RequestSpec]) -> FuzzCase:
+    return case.with_workload(
+        Workload(list(requests), dict(case.workload.meta))
+    )
+
+
+def _ddmin_requests(case: FuzzCase, oracle: Oracle,
+                    budget: _Budget) -> FuzzCase:
+    """Classic ddmin over the request list (complement reduction)."""
+    items = list(case.workload.requests)
+    n = 2
+    while len(items) >= 2 and not budget.exhausted:
+        chunk = max(1, len(items) // n)
+        reduced = False
+        # try each chunk alone, then each complement
+        pieces = [items[i:i + chunk] for i in range(0, len(items), chunk)]
+        for piece in pieces:
+            if len(piece) < len(items) and _still_fails(
+                _with_requests(case, piece), oracle, budget
+            ):
+                items, n, reduced = piece, 2, True
+                break
+        if not reduced:
+            for i in range(len(pieces)):
+                rest = [r for j, p in enumerate(pieces) if j != i for r in p]
+                if rest and _still_fails(
+                    _with_requests(case, rest), oracle, budget
+                ):
+                    items, n, reduced = rest, max(n - 1, 2), True
+                    break
+        if not reduced:
+            if n >= len(items):
+                break
+            n = min(len(items), n * 2)
+    return _with_requests(case, items)
+
+
+def _try(case: FuzzCase, candidate: FuzzCase, oracle: Oracle,
+         budget: _Budget) -> FuzzCase:
+    """Keep the candidate if it still fails, else keep the case."""
+    return candidate if _still_fails(candidate, oracle, budget) else case
+
+
+def _shrink_plan(case: FuzzCase, oracle: Oracle, budget: _Budget) -> FuzzCase:
+    cfg = case.config
+    if cfg.faults is not None:
+        case = _try(case, case.with_config(replace(cfg, faults=None)),
+                    oracle, budget)
+        cfg = case.config
+    if cfg.faults is not None:
+        for field_, null in (("crash_prob", 0.0),
+                             ("coldstart_fail_prob", 0.0),
+                             ("stragglers", ())):
+            if getattr(cfg.faults, field_):
+                reduced = replace(cfg.faults, **{field_: null})
+                faults = None if reduced.is_null else reduced
+                case = _try(case, case.with_config(
+                    replace(cfg, faults=faults)), oracle, budget)
+                cfg = case.config
+                if cfg.faults is None:
+                    break
+    for field_ in ("retry", "timeout", "admission"):
+        if getattr(cfg, field_) is not None:
+            case = _try(case, case.with_config(
+                replace(cfg, **{field_: None})), oracle, budget)
+            cfg = case.config
+    return case
+
+
+def _shrink_config(case: FuzzCase, oracle: Oracle,
+                   budget: _Budget) -> FuzzCase:
+    for build in (
+        lambda c: replace(c, engine="fluid"),
+        lambda c: replace(c, scheduler="cfs"),
+        lambda c: replace(c, machine=replace(c.machine, fair_class="cfs")),
+        lambda c: replace(c, machine=replace(c.machine, ctx_switch_cost=0)),
+        lambda c: replace(c, notify_latency=0),
+    ):
+        candidate = build(case.config)
+        if candidate != case.config:
+            case = _try(case, case.with_config(candidate), oracle, budget)
+    while case.config.machine.n_cores > 1 and not budget.exhausted:
+        fewer = replace(case.config,
+                        machine=replace(case.config.machine,
+                                        n_cores=case.config.machine.n_cores // 2))
+        smaller = _try(case, case.with_config(fewer), oracle, budget)
+        if smaller is case:
+            break
+        case = smaller
+    if any(r.arrival for r in case.workload):
+        flat = [replace(r, arrival=0) for r in case.workload]
+        case = _try(case, _with_requests(case, flat), oracle, budget)
+    return case
+
+
+def _halve_bursts(spec: RequestSpec) -> RequestSpec:
+    return replace(spec, bursts=tuple(
+        Burst(b.kind, max(1, b.duration // 2)) for b in spec.bursts
+    ))
+
+
+def _shrink_durations(case: FuzzCase, oracle: Oracle,
+                      budget: _Budget) -> FuzzCase:
+    while not budget.exhausted:  # global halving to a fixed point
+        halved = [_halve_bursts(r) for r in case.workload]
+        if [r.bursts for r in halved] == [r.bursts for r in case.workload]:
+            break
+        smaller = _try(case, _with_requests(case, halved), oracle, budget)
+        if smaller is case:
+            break
+        case = smaller
+    for idx in range(len(case.workload.requests)):  # then per request
+        while not budget.exhausted:
+            requests = list(case.workload.requests)
+            halved = _halve_bursts(requests[idx])
+            if halved.bursts == requests[idx].bursts:
+                break
+            requests[idx] = halved
+            smaller = _try(case, _with_requests(case, requests),
+                           oracle, budget)
+            if smaller is case:
+                break
+            case = smaller
+    return case
+
+
+def shrink_case(
+    case: FuzzCase,
+    oracle: Oracle,
+    max_checks: int = DEFAULT_BUDGET,
+    progress: Optional[Callable[[str], None]] = None,
+) -> FuzzCase:
+    """Minimise ``case`` while ``oracle`` keeps failing it.
+
+    Returns the smallest failing variant found within ``max_checks``
+    oracle invocations (the input itself if nothing smaller fails).
+    """
+    budget = _Budget(max_checks)
+    if not _still_fails(case, oracle, budget):
+        return case  # not reproducible — nothing to shrink
+    for name, stage in (
+        ("requests", _ddmin_requests),
+        ("fault-plan", _shrink_plan),
+        ("config", _shrink_config),
+        ("durations", _shrink_durations),
+    ):
+        case = stage(case, oracle, budget)
+        if progress is not None:
+            progress(f"shrink:{name} -> {len(case.workload)} requests, "
+                     f"{budget.spent} checks")
+        if budget.exhausted:
+            break
+    return case

@@ -13,6 +13,7 @@ the main loop discards dead entries when they surface, which keeps both
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Optional
 
 from repro.invariants.checker import NULL_CHECKER
@@ -59,6 +60,19 @@ def _noop(*_args: Any) -> None:
     return None
 
 
+def _describe(handle: EventHandle) -> str:
+    """One-line event description for runaway-guard diagnostics."""
+    cb = handle.callback
+    name = getattr(cb, "__qualname__", None) or repr(cb)
+    args = ", ".join(_short(a) for a in handle.args)
+    return f"t={handle.time} {name}({args})"
+
+
+def _short(value: Any) -> str:
+    text = repr(value)
+    return text if len(text) <= 40 else text[:37] + "..."
+
+
 class Simulator:
     """Virtual-time discrete-event loop.
 
@@ -89,12 +103,17 @@ class Simulator:
     :class:`repro.obs.MetricsRegistry` before building the machine.
     Metric hooks are read-only with respect to virtual time, so an
     enabled run is bit-identical to a disabled one.
+
+    ``label`` names the run in diagnostics (e.g. the scheduler/engine
+    pair); it is only ever read when an error message is built.
     """
 
     def __init__(self, trace: Optional[Any] = None,
                  invariants: Optional[Any] = None,
-                 metrics: Optional[Any] = None) -> None:
+                 metrics: Optional[Any] = None,
+                 label: str = "") -> None:
         self.now: int = 0
+        self.label = label
         self._heap: list[tuple[int, int, EventHandle]] = []
         self._seq: int = 0
         self._running = False
@@ -166,12 +185,20 @@ class Simulator:
         ``max_events`` is a runaway guard, not a pause button: if the
         budget is exhausted while live events are still pending, the run
         did *not* complete and a :class:`SimulationError` is raised so
-        truncated results can never be mistaken for finished ones.
+        truncated results can never be mistaken for finished ones.  The
+        error names the virtual clock, the run label and the last few
+        executed events, so a fuzz-found livelock is diagnosable from
+        the exception alone.  The event descriptions are only recorded
+        when a budget is armed — a guard-free run stays on the exact
+        nominal path.
         """
         if self._running:
             raise SimulationError("Simulator.run is not reentrant")
         self._running = True
         executed = 0
+        recent: Optional[deque] = (
+            deque(maxlen=5) if max_events is not None else None
+        )
         t0 = perf_counter() if self._prof is not None else 0.0
         try:
             while True:
@@ -181,10 +208,15 @@ class Simulator:
                 if until is not None and nxt > until:
                     break
                 if max_events is not None and executed >= max_events:
+                    tail = "; ".join(recent) if recent else "(none)"
+                    label = f" [{self.label}]" if self.label else ""
                     raise SimulationError(
                         f"event budget exhausted: {max_events} events executed "
                         f"with {self.pending} still pending at t={self.now}"
+                        f"{label}; last events: {tail}"
                     )
+                if recent is not None:
+                    recent.append(_describe(self._heap[0][2]))
                 self.step()
                 executed += 1
         finally:

@@ -45,6 +45,19 @@ def test_plan_validation():
         FaultPlan(host_failures=((0, 5, 5),))  # empty window
 
 
+def test_plan_rejects_internally_contradictory_faults():
+    with pytest.raises(ValueError, match="appears twice in stragglers"):
+        FaultPlan(stragglers=((1, 0.5), (1, 0.8)))
+    with pytest.raises(ValueError, match="overlapping failure windows"):
+        FaultPlan(host_failures=((0, 10, 100), (0, 50, 200)))
+    # back-to-back windows on one host are fine (down, up, down again)
+    FaultPlan(host_failures=((0, 10, 100), (0, 100, 200)))
+    # the same window on different hosts is fine too
+    FaultPlan(host_failures=((0, 10, 100), (1, 10, 100)))
+    with pytest.raises(ValueError, match="contradictory fault models"):
+        FaultPlan(stragglers=((0, 0.5),), host_failures=((0, 10, 100),))
+
+
 def test_plan_is_null():
     assert NULL_PLAN.is_null
     assert not FaultPlan(crash_prob=0.1).is_null
