@@ -24,11 +24,18 @@ Packages:
 * ``repro.faas``     — the OpenLambda platform model
 * ``repro.faults``   — fault injection, retries, graceful degradation
 * ``repro.metrics``  — RTE, CDFs, percentiles, timelines
+* ``repro.explore``  — interactive run explorer (one offline HTML)
 * ``repro.experiments`` — one module per table/figure of the paper
 """
 
 from repro.core import SFS, SFSConfig
-from repro.experiments.runner import RunConfig, run_many, run_workload
+from repro.experiments.runner import (
+    RunConfig,
+    run_bundled,
+    run_many,
+    run_workload,
+)
+from repro.explore import RunBundle, write_explorer
 from repro.faas import OpenLambdaConfig, run_openlambda
 from repro.faults import AdmissionControl, FaultPlan, RetryPolicy
 from repro.machine import DiscreteMachine, FluidMachine, MachineParams
@@ -45,6 +52,9 @@ __all__ = [
     "RunConfig",
     "run_workload",
     "run_many",
+    "run_bundled",
+    "RunBundle",
+    "write_explorer",
     "run_openlambda",
     "OpenLambdaConfig",
     "FaultPlan",

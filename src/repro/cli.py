@@ -10,6 +10,8 @@ The subcommands cover the common flows without writing Python::
     python -m repro check --quick
     python -m repro fuzz --budget 200 --seed 0 --out findings/
     python -m repro fuzz replay tests/corpus/case.json
+    python -m repro report out.html --explore explore.html --bundle runA/
+    python -m repro explore runA/ runB/ -o diff.html
     python -m repro list
 
 ``run`` and ``compare`` generate a FaaSBench workload and print the
@@ -135,17 +137,17 @@ def _check_parent(path: str, what: str) -> None:
 
 
 def _run(args, scheduler: str, trace_path: Optional[str] = None,
-         registry=None):
+         registry=None, recorder=None):
     from repro.trace import TraceRecorder, write_trace
 
     machine = MachineParams(n_cores=args.cores, ctx_switch_cost=args.ctx_cost)
     cfg = RunConfig(scheduler=scheduler, engine=args.engine, machine=machine,
                     invariants=getattr(args, "invariants", None),
                     **_fault_config(args))
-    recorder = None
     if trace_path:
         _check_parent(trace_path, "trace")
-        recorder = TraceRecorder(gauge_interval=args.gauge_interval)
+        if recorder is None:
+            recorder = TraceRecorder(gauge_interval=args.gauge_interval)
     metrics_path = getattr(args, "metrics", None)
     if registry is None and metrics_path:
         from repro.obs import MetricsRegistry
@@ -266,16 +268,37 @@ def cmd_report(args) -> int:
     from repro.obs.export import write_html, write_metrics
 
     _check_parent(args.output, "report")
+    if args.explore:
+        _check_parent(args.explore, "explorer")
+    if args.bundle:
+        # the bundle path may itself name a directory to create
+        _check_parent(os.path.normpath(args.bundle), "bundle")
     registry = MetricsRegistry(gauge_interval=args.gauge_interval,
                                profile=args.profile)
+    recorder = None
+    if args.explore or args.bundle:
+        from repro.trace import TraceRecorder
+
+        recorder = TraceRecorder(gauge_interval=args.gauge_interval)
     t0 = time.time()
-    res = _run(args, args.scheduler, trace_path=args.trace, registry=registry)
+    res = _run(args, args.scheduler, trace_path=args.trace,
+               registry=registry, recorder=recorder)
     print(latency_table(res.records))
     sfs = sfs_accounting(registry)
     if sfs:
         rows = sorted(sfs.items())
         print()
         print(format_table(["SFS counter", "value"], rows))
+    if recorder is not None:
+        from repro.explore import RunBundle, write_explorer
+
+        bundle = RunBundle.capture(res, recorder, metrics=registry)
+        if args.bundle:
+            saved = bundle.save(args.bundle)
+            print(f"\nwrote run bundle to {saved}")
+        if args.explore:
+            n = write_explorer(args.explore, [bundle], metrics=registry)
+            print(f"\nwrote explorer to {args.explore} ({n / 1e6:.2f} MB)")
     if args.profile and registry.profiler is not None:
         rep = registry.profiler.report()
         print(f"\nself-profile: {rep['events_executed']:,} events in "
@@ -291,6 +314,28 @@ def cmd_report(args) -> int:
                          f"load {args.load:.0%}")
     print(f"\nwrote {args.output} ({len(registry)} instruments, "
           f"{time.time() - t0:.1f}s)")
+    return 0
+
+
+def cmd_explore(args) -> int:
+    """Render saved run bundles into one interactive offline page."""
+    from repro.explore import RunBundle, write_explorer
+
+    if len(args.bundles) > 2:
+        print("error: explore takes one bundle (single view) or two "
+              "(A/B diff)", file=sys.stderr)
+        return 2
+    _check_parent(args.output, "explorer")
+    bundles = []
+    for path in args.bundles:
+        try:
+            bundles.append(RunBundle.load(path))
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    n = write_explorer(args.output, bundles, title=args.title)
+    labels = " vs ".join(b.label for b in bundles)
+    print(f"wrote explorer ({labels}) to {args.output} ({n / 1e6:.2f} MB)")
     return 0
 
 
@@ -401,6 +446,10 @@ def cmd_fuzz(args) -> int:
         return _fuzz_replay(args)
     from repro.fuzz import run_campaign
 
+    if args.out:
+        # same parent check the file-writing subcommands get: the out
+        # dir itself is created, but a missing grandparent fails fast
+        _check_parent(os.path.normpath(args.out), "fuzz output")
     registry = None
     if args.metrics:
         from repro.obs import MetricsRegistry
@@ -495,8 +544,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--scheduler", choices=SCHEDULERS, default="sfs")
     p_rep.add_argument("--profile", action="store_true",
                        help="also time the simulator itself (wall clock)")
+    p_rep.add_argument("--explore", metavar="PATH",
+                       help="also write the interactive run explorer "
+                            "(one self-contained offline HTML)")
+    p_rep.add_argument("--bundle", metavar="PATH",
+                       help="also save the repro.explore/1 run bundle "
+                            "(diff it later with `repro explore A B`)")
     _add_workload_args(p_rep)
     p_rep.set_defaults(func=cmd_report, metrics=None)
+
+    p_ex = sub.add_parser(
+        "explore",
+        help="render saved run bundles as an interactive HTML explorer")
+    p_ex.add_argument("bundles", nargs="+", metavar="BUNDLE",
+                      help="bundle.json file or run directory; give two "
+                           "for an aligned A/B diff (e.g. cfs vs sfs)")
+    p_ex.add_argument("-o", "--output", metavar="PATH",
+                      default="explore.html",
+                      help="output HTML path (default: %(default)s)")
+    p_ex.add_argument("--title", help="page title override")
+    p_ex.set_defaults(func=cmd_explore)
 
     p_bench = sub.add_parser("bench", help="headless perf snapshot "
                                            "(events/sec per scenario)")

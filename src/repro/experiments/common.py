@@ -121,6 +121,47 @@ def duration_percentiles(result, qs, scale=1e6):
     return tuple(ps[q] / scale for q in qs)
 
 
+def emit_point_explorers(
+    out_dir,
+    workload: Workload,
+    base,
+    schedulers: Tuple[str, ...] = ("cfs", "sfs"),
+    label: str = "point",
+    metrics=None,
+):
+    """Render explorer pages for one sweep/chaos point.
+
+    Replays ``workload`` under each scheduler with tracing on, writes
+    one self-contained explorer per scheduler into ``out_dir`` (named
+    ``{label}-{scheduler}.html``) plus, when exactly two schedulers are
+    given, the aligned A/B diff (``{label}-diff.html``).  File names are
+    deterministic so resumable sweeps overwrite in place.  Returns the
+    written paths.
+    """
+    from pathlib import Path
+
+    from repro.experiments.runner import run_many_bundled
+    from repro.explore import write_explorer
+
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    bundled = run_many_bundled(workload, base, tuple(schedulers))
+    paths = []
+    for sched, (_res, bundle) in bundled.items():
+        path = out / f"{label}-{sched}.html"
+        write_explorer(path, [bundle], title=f"{label} — {bundle.label}",
+                       metrics=metrics)
+        paths.append(path)
+    if len(schedulers) == 2:
+        a, b = (bundled[s][1] for s in schedulers)
+        path = out / f"{label}-diff.html"
+        write_explorer(path, [a, b],
+                       title=f"{label} — {a.label} vs {b.label}",
+                       metrics=metrics)
+        paths.append(path)
+    return paths
+
+
 def percentile_ratio(runs, load, q, num="sfs", den="cfs"):
     """``num``'s q-th duration percentile over ``den``'s at one load.
 

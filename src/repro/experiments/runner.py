@@ -253,3 +253,33 @@ def run_many(
 ) -> Dict[str, RunResult]:
     """Replay the same workload under several schedulers (paired runs)."""
     return {s: run_workload(workload, base.with_scheduler(s)) for s in schedulers}
+
+
+def run_bundled(
+    workload: Workload, cfg: RunConfig, metrics: Optional[object] = None,
+    title: Optional[str] = None, gauge_interval: int = 10_000,
+):
+    """Execute with tracing on and also return the explorer bundle.
+
+    Returns ``(RunResult, RunBundle)`` — the bundle fuses the trace,
+    the registry snapshot (when one is passed), and the run manifest,
+    ready for :func:`repro.explore.write_explorer` or ``bundle.save``.
+    """
+    from repro.explore import RunBundle
+    from repro.trace import TraceRecorder
+
+    recorder = TraceRecorder(gauge_interval=gauge_interval)
+    res = run_workload(workload, cfg, trace=recorder, metrics=metrics)
+    return res, RunBundle.capture(res, recorder, metrics=metrics, title=title)
+
+
+def run_many_bundled(
+    workload: Workload, base: RunConfig, schedulers: Tuple[str, ...],
+    gauge_interval: int = 10_000,
+):
+    """Paired :func:`run_bundled` runs: ``{scheduler: (result, bundle)}``."""
+    return {
+        s: run_bundled(workload, base.with_scheduler(s),
+                       gauge_interval=gauge_interval)
+        for s in schedulers
+    }

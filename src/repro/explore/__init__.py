@@ -1,0 +1,20 @@
+"""repro.explore: the unified interactive run explorer.
+
+Fuses a run's trace, metrics, fault windows, and manifest provenance
+into one compact :class:`RunBundle` document, then renders one or two
+of them (A/B diff) into a single self-contained offline HTML page —
+inline CSS/JS, no server, no external references, byte-identical for
+identical seeds.
+"""
+
+from repro.explore.bundle import SCHEMA, RunBundle, build_data
+from repro.explore.page import render_diff, render_explorer, write_explorer
+
+__all__ = [
+    "SCHEMA",
+    "RunBundle",
+    "build_data",
+    "render_diff",
+    "render_explorer",
+    "write_explorer",
+]

@@ -169,12 +169,22 @@ def _table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
 
 def _sparkline(series: Sequence[Tuple[int, float]], width: int = 640,
                height: int = 80, y_max: Optional[float] = None) -> str:
-    if len(series) < 2:
-        return "<p class=muted>not enough samples for a timeline</p>"
-    xs = [ts for ts, _ in series]
+    series = list(series)
+    if not series:
+        return "<p class=muted>no samples for a timeline</p>"
     ys = [v for _, v in series]
+    top = y_max if y_max is not None else max(ys)
+    if top is None or top <= 0:
+        top = 1.0
+    if len(series) == 1:
+        y = height - min(ys[0], top) / top * height
+        return (
+            f'<svg width="{width}" height="{height}" '
+            f'viewBox="0 0 {width} {height}">'
+            f'<circle cx="2.0" cy="{y:.1f}" r="2.5" fill="#3366cc"/></svg>'
+        )
+    xs = [ts for ts, _ in series]
     x0, x1 = xs[0], xs[-1]
-    top = y_max if y_max is not None else (max(ys) or 1.0)
     span = (x1 - x0) or 1
     pts = " ".join(
         f"{(x - x0) / span * width:.1f},"
@@ -187,6 +197,10 @@ def _sparkline(series: Sequence[Tuple[int, float]], width: int = 640,
         f'<polyline points="{pts}" fill="none" stroke="#3366cc" '
         f'stroke-width="1.5"/></svg>'
     )
+
+
+#: public name — the explorer's ``<noscript>`` fallback reuses this
+sparkline = _sparkline
 
 
 def _fmt_quantiles(inst) -> str:

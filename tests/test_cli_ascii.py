@@ -92,3 +92,39 @@ def test_cli_parser_defaults():
     assert args.scheduler == "sfs"
     assert args.engine == "fluid"
     assert args.ctx_cost == 500
+
+
+@pytest.mark.parametrize("argv", [
+    ["trace", "no_such_dir/out.json", "--requests", "10"],
+    ["report", "no_such_dir/out.html", "--requests", "10"],
+    ["report", "out.html", "--explore", "no_such_dir/ex.html",
+     "--requests", "10"],
+    ["report", "out.html", "--bundle", "no_such_dir/run/",
+     "--requests", "10"],
+    ["fuzz", "--budget", "1", "--out", "no_such_dir/findings"],
+    ["explore", "bundle.json", "-o", "no_such_dir/out.html"],
+], ids=["trace", "report", "report-explore", "report-bundle",
+        "fuzz-out", "explore"])
+def test_cli_missing_parent_dir_exits_2(argv, capsys, tmp_path,
+                                        monkeypatch):
+    """Every artifact-writing path fails fast with the same exit code."""
+    monkeypatch.chdir(tmp_path)  # guarantee no_such_dir doesn't exist
+    with pytest.raises(SystemExit) as exc:
+        main(argv)
+    assert exc.value.code == 2
+    assert "directory does not exist" in capsys.readouterr().err
+
+
+def test_cli_explore_bad_bundle_exits_2(capsys, tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{}")
+    rc = main(["explore", str(bad), "-o", str(tmp_path / "out.html")])
+    assert rc == 2
+    assert "not a repro.explore/1" in capsys.readouterr().err
+
+
+def test_cli_explore_too_many_bundles_exits_2(capsys, tmp_path):
+    rc = main(["explore", "a", "b", "c",
+               "-o", str(tmp_path / "out.html")])
+    assert rc == 2
+    assert "one bundle" in capsys.readouterr().err
