@@ -7,9 +7,11 @@ The subcommands cover the common flows without writing Python::
     python -m repro trace out.json --scheduler sfs --requests 500
     python -m repro experiment fig6 headline ext-eevdf
     python -m repro experiment chaos headline --out results/ --resume
+    python -m repro experiment chaos --out results/ --workers 4
     python -m repro check --quick
-    python -m repro fuzz --budget 200 --seed 0 --out findings/
+    python -m repro fuzz --budget 200 --seed 0 --out findings/ --workers 4
     python -m repro fuzz replay tests/corpus/case.json
+    python -m repro pool replay results/quarantine.json
     python -m repro report out.html --explore explore.html --bundle runA/
     python -m repro explore runA/ runB/ -o diff.html
     python -m repro list
@@ -390,14 +392,34 @@ def cmd_experiment(args) -> int:
         print("error: --resume requires --out DIR", file=sys.stderr)
         return 2
     if args.out:
-        return _experiment_sweep(args)
+        rc = (_experiment_pool_sweep(args) if args.workers > 0
+              else _experiment_sweep(args))
+    else:
+        rc = 0
+        for exp_id in args.ids:
+            entry = REGISTRY[exp_id]
+            t0 = time.time()
+            result = entry.run_scaled(seed=args.seed, workers=args.workers)
+            print(f"\n=== {exp_id}: {entry.title} "
+                  f"({time.time() - t0:.1f}s) ===")
+            print(entry.render(result))
+    if args.explore_points:
+        _emit_point_explorers(args)
+    return rc
+
+
+def _emit_point_explorers(args) -> None:
+    """``--explore-points DIR``: per-point interactive explorers for
+    every requested experiment that exposes ``emit_explorers``."""
+    os.makedirs(args.explore_points, exist_ok=True)
     for exp_id in args.ids:
-        entry = REGISTRY[exp_id]
-        t0 = time.time()
-        result = entry.run_scaled(seed=args.seed)
-        print(f"\n=== {exp_id}: {entry.title} ({time.time() - t0:.1f}s) ===")
-        print(entry.render(result))
-    return 0
+        module = REGISTRY[exp_id].module
+        if not hasattr(module, "emit_explorers"):
+            continue
+        paths = module.emit_explorers(
+            args.explore_points, module.Config.scaled(), seed=args.seed)
+        print(f"{exp_id}: wrote {len(paths)} explorer page(s) to "
+              f"{args.explore_points}")
 
 
 def _experiment_sweep(args) -> int:
@@ -426,6 +448,117 @@ def _experiment_sweep(args) -> int:
     for o in bad:
         print(f"  {o.exp_id}: {o.status} ({o.detail})", file=sys.stderr)
     return 1 if bad else 0
+
+
+def _experiment_pool_sweep(args) -> int:
+    """``--workers N`` sweep: cell-granular pool items for shardable
+    experiments (e.g. every chaos grid cell), whole-experiment items
+    otherwise, all under one :func:`repro.pool.run_pool` supervisor.
+    The per-experiment merged artifacts carry the same manifest config
+    as the serial sweep's, so ``--resume`` interoperates both ways and
+    the merged bytes are worker-count-independent.
+    """
+    from repro.experiments.artifacts import ArtifactStore
+    from repro.pool import PoolConfig, run_pool
+    from repro.pool.tasks import experiment_item, shardable_items
+
+    store = ArtifactStore(args.out)
+    registry = None
+    if args.metrics:
+        from repro.obs import MetricsRegistry
+
+        _check_parent(args.metrics, "metrics")
+        registry = MetricsRegistry()
+
+    items = []
+    configs = {}
+    sharded = {}  # exp_id -> (module, scaled config, ordered item ids)
+    n_resumed = 0
+    for exp_id in args.ids:
+        entry = REGISTRY[exp_id]
+        exp_cfg = {"exp_id": exp_id, "seed": args.seed}
+        if args.resume and store.verify(exp_id, exp_cfg):
+            n_resumed += 1
+            print(f"  [skip] {exp_id} (artifact verifies)")
+            continue
+        if entry.shardable:
+            scaled = entry.module.Config.scaled()
+            ids = []
+            for item_id, payload in shardable_items(
+                    exp_id, scaled, args.seed):
+                items.append((item_id, payload))
+                configs[item_id] = {"exp_id": exp_id, "shard": item_id,
+                                    "seed": args.seed}
+                ids.append(item_id)
+            sharded[exp_id] = (entry.module, scaled, ids)
+        else:
+            items.append((exp_id, {"exp_id": exp_id, "seed": args.seed}))
+            configs[exp_id] = exp_cfg
+
+    report = None
+    if items:
+        report = run_pool(
+            items,
+            experiment_item,
+            PoolConfig(workers=args.workers, max_retries=args.max_retries,
+                       item_seconds=args.watchdog,
+                       chaos_kill=args.chaos_kill),
+            store=store,
+            config_for=configs.__getitem__,
+            resume=args.resume,
+            quarantine_path=args.quarantine,
+            metrics=registry,
+            progress=print,
+        )
+        result_of = dict(zip((item_id for item_id, _ in items),
+                             report.results))
+        for exp_id, (module, scaled, ids) in sharded.items():
+            texts = [result_of[i] for i in ids]
+            if all(t is not None for t in texts):
+                store.write(exp_id, module.render_shards(texts, scaled),
+                            {"exp_id": exp_id, "seed": args.seed})
+
+    if registry is not None:
+        from repro.obs.export import write_metrics
+
+        write_metrics(args.metrics, registry)
+        print(f"wrote {len(registry)} instruments to {args.metrics}")
+    if report is None:
+        print(f"\npool sweep: nothing to do ({n_resumed} resumed)")
+        return 0
+    print(f"\npool sweep: {report.n_ok} ok, "
+          f"{report.n_skipped + n_resumed} resumed, "
+          f"{report.n_retried} retried, "
+          f"{len(report.quarantined)} quarantined")
+    if report.quarantined:
+        for o in report.quarantined:
+            print(f"  {o.item_id}: {o.errors[-1] if o.errors else '?'}",
+                  file=sys.stderr)
+        print(f"  quarantine report: {report.quarantine_path} "
+              f"(replay with `repro pool replay`)", file=sys.stderr)
+    return 1 if report.quarantined else 0
+
+
+def cmd_pool(args) -> int:
+    """``repro pool replay REPORT.json [--only ITEM]``: re-run
+    quarantined items single-process, where a debugger can reach."""
+    from repro.pool import replay_quarantine
+
+    try:
+        results = replay_quarantine(
+            args.report, only=args.only,
+            progress=lambda line: print(line, file=sys.stderr))
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not results:
+        print("no matching quarantined items", file=sys.stderr)
+        return 2
+    dirty = False
+    for item_id, ok, detail in results:
+        print(f"{item_id}: {'clean' if ok else detail}")
+        dirty = dirty or not ok
+    return 1 if dirty else 0
 
 
 def cmd_check(args) -> int:
@@ -463,6 +596,7 @@ def cmd_fuzz(args) -> int:
         metrics=registry,
         case_seconds=args.watchdog,
         progress=lambda line: print(line, file=sys.stderr),
+        workers=args.workers,
     )
     # stdout carries only the deterministic summary: two campaigns with
     # the same (budget, seed) on the same tree print identical bytes
@@ -593,6 +727,24 @@ def build_parser() -> argparse.ArgumentParser:
                             "verify against their manifests")
     p_exp.add_argument("--watchdog", type=float, metavar="SECONDS",
                        help="wall-clock budget per experiment (sweep mode)")
+    p_exp.add_argument("--workers", type=int, default=0, metavar="N",
+                       help="shard the sweep across N supervised pool "
+                            "workers (0 = single-process)")
+    p_exp.add_argument("--max-retries", type=int, default=2, metavar="N",
+                       help="pool mode: retries per item before "
+                            "quarantine (default: %(default)s)")
+    p_exp.add_argument("--quarantine", metavar="PATH",
+                       help="pool mode: quarantine report path "
+                            "(default: OUT/quarantine.json)")
+    p_exp.add_argument("--metrics", metavar="PATH",
+                       help="pool mode: dump supervisor counters "
+                            "(.jsonl/.prom)")
+    p_exp.add_argument("--explore-points", metavar="DIR",
+                       help="also write per-point interactive explorers "
+                            "for experiments that support them (chaos)")
+    p_exp.add_argument("--chaos-kill", metavar="ITEM", default=None,
+                       help="test hook: SIGKILL the worker holding ITEM "
+                            "on first dispatch (pool mode)")
     p_exp.set_defaults(func=cmd_experiment)
 
     p_chk = sub.add_parser(
@@ -620,12 +772,27 @@ def build_parser() -> argparse.ArgumentParser:
                         help="wall-clock budget per case (0 disables)")
     p_fuzz.add_argument("--metrics", metavar="PATH",
                         help="dump campaign counters (.jsonl/.prom)")
+    p_fuzz.add_argument("--workers", type=int, default=0, metavar="N",
+                        help="shard cases across N supervised pool "
+                             "workers (summary stays byte-identical)")
     p_fuzz.set_defaults(func=cmd_fuzz)
     fuzz_sub = p_fuzz.add_subparsers(dest="fuzz_command")
     p_replay = fuzz_sub.add_parser(
         "replay", help="replay saved reproducers (exit 1 if one fires)")
     p_replay.add_argument("cases", nargs="+", metavar="CASE.json")
     p_replay.set_defaults(func=cmd_fuzz)
+
+    p_pool = sub.add_parser(
+        "pool", help="inspect/replay repro.pool quarantine reports")
+    pool_sub = p_pool.add_subparsers(dest="pool_command", required=True)
+    p_preplay = pool_sub.add_parser(
+        "replay",
+        help="re-run quarantined items single-process (exit 1 if one "
+             "still fails)")
+    p_preplay.add_argument("report", metavar="REPORT.json")
+    p_preplay.add_argument("--only", metavar="ITEM",
+                           help="restrict the replay to one item id")
+    p_preplay.set_defaults(func=cmd_pool)
 
     p_list = sub.add_parser("list", help="list available experiments")
     p_list.set_defaults(func=cmd_list)

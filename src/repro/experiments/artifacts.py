@@ -16,9 +16,14 @@ module makes the sweep restartable without trusting half-written state:
   state, so a resumed sweep's artifacts are byte-identical to an
   uninterrupted run (pinned by the test suite);
 * **wall-clock watchdog** — :func:`watchdog` bounds each experiment
-  with ``SIGALRM`` so one hung shard cannot stall the sweep forever.
+  with ``SIGALRM`` in the single-process main-thread case and falls
+  back to the portable :func:`deadline` thread-timer everywhere else
+  (worker threads, spawned pool children), so one hung shard cannot
+  stall the sweep forever.
 
-``repro experiment --out DIR --resume`` drives :func:`run_sweep`.
+``repro experiment --out DIR --resume`` drives :func:`run_sweep`;
+``repro experiment --workers N`` shards the same stores through
+:mod:`repro.pool`.
 """
 
 from __future__ import annotations
@@ -68,20 +73,81 @@ class ExperimentTimeout(RuntimeError):
     """An experiment exceeded its wall-clock budget."""
 
 
+def _async_raise(thread_ident: int, exc_type: type) -> bool:
+    """Deliver ``exc_type`` asynchronously to a running CPython thread.
+
+    ``PyThreadState_SetAsyncExc`` schedules the exception at the
+    target's next bytecode boundary, which is exactly what a pure-
+    Python simulator loop needs; a thread blocked inside a C call only
+    sees it when control returns to the interpreter (the pool's
+    supervisor-side kill covers that case).  Returns False where the
+    mechanism is unavailable (non-CPython) so callers degrade to
+    unbounded rather than crashing.
+    """
+    try:
+        import ctypes
+
+        set_async_exc = ctypes.pythonapi.PyThreadState_SetAsyncExc
+    except (ImportError, AttributeError):  # pragma: no cover - PyPy etc.
+        return False
+    n = set_async_exc(ctypes.c_ulong(thread_ident),
+                      ctypes.py_object(exc_type))
+    if n > 1:  # pragma: no cover - stale ident; undo the stray delivery
+        set_async_exc(ctypes.c_ulong(thread_ident), None)
+        return False
+    return n == 1
+
+
+@contextmanager
+def deadline(seconds: Optional[float]) -> Iterator[None]:
+    """Portable wall-clock bound: works off the main thread and in
+    spawned children, where ``SIGALRM`` cannot be armed.
+
+    A daemon :class:`threading.Timer` delivers
+    :class:`ExperimentTimeout` to the *calling* thread via
+    ``PyThreadState_SetAsyncExc`` once ``seconds`` elapse.  ``None`` or
+    0 disables the bound, as does a runtime without the CPython C API.
+    """
+    if not seconds:
+        yield
+        return
+    ident = threading.get_ident()
+    state = {"armed": True}
+
+    def _fire() -> None:
+        if state["armed"]:
+            _async_raise(ident, ExperimentTimeout)
+
+    timer = threading.Timer(seconds, _fire)
+    timer.daemon = True
+    timer.start()
+    try:
+        yield
+    finally:
+        state["armed"] = False
+        timer.cancel()
+
+
 @contextmanager
 def watchdog(seconds: Optional[float]) -> Iterator[None]:
     """Bound the enclosed block to ``seconds`` of wall time.
 
-    Uses ``SIGALRM``/``setitimer``, so it only arms on platforms that
-    have it and in the main thread; elsewhere it is a no-op (the sweep
-    still runs, just unbounded).  ``None`` or 0 disables the watchdog.
+    In the single-process case — main thread, platform with
+    ``SIGALRM`` — it uses ``setitimer``, whose delivery does not depend
+    on the interpreter reaching a bytecode boundary.  Everywhere else
+    (worker threads, :mod:`repro.pool` children) it delegates to the
+    portable :func:`deadline` thread-timer.  ``None`` or 0 disables
+    the watchdog.
     """
+    if not seconds:
+        yield
+        return
     if (
-        not seconds
-        or not hasattr(signal, "SIGALRM")
+        not hasattr(signal, "SIGALRM")
         or threading.current_thread() is not threading.main_thread()
     ):
-        yield
+        with deadline(seconds):
+            yield
         return
 
     def _alarm(_signum, _frame):

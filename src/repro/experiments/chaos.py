@@ -24,19 +24,24 @@ scenario — failures hit both schedulers alike (same plan, same rng
 discipline), while SFS still clears short functions faster, which under
 deadlines and admission pressure converts directly into fewer timeouts
 and sheds.
+
+The grid is *shardable*: each (scenario, scheduler) cell is an
+independent cluster run, so :func:`shards` / :func:`run_shard` /
+:func:`render_shards` expose it to the :mod:`repro.pool` supervisor
+(``repro experiment chaos --out DIR --workers N``).  A cell artifact
+is the canonical JSON of its summary metrics; the merged rendering is
+reduced in grid order, so the parallel sweep's output is byte-identical
+to the serial one.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Tuple
+import json
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import format_table
-from repro.experiments.common import (
-    azure_sampled_workload,
-    machine,
-    summarise_sweep,
-)
+from repro.experiments.common import azure_sampled_workload, machine
 from repro.faas.cluster import ClusterConfig, run_cluster
 from repro.faas.openlambda import OpenLambdaConfig
 from repro.faults import AdmissionControl, FaultPlan, RetryPolicy
@@ -101,30 +106,42 @@ def _scenarios(config: Config, seed: int) -> Dict[str, Tuple[float, FaultPlan, A
     }
 
 
-def run(config: Config, seed: int = 0) -> Result:
+def run_cell(config: Config, seed: int, scenario: str,
+             scheduler: str) -> RunResult:
+    """One grid cell: one scenario's fault plan under one scheduler.
+
+    Regenerates the (deterministic) workload from the seed, so a cell
+    computed in a pool worker is identical to the same cell computed
+    inline — process history never leaks into the result.
+    """
+    load, plan, admission = _scenarios(config, seed)[scenario]
     total_cores = config.n_hosts * config.cores_per_host
-    retry = RetryPolicy(max_attempts=config.max_attempts, seed=seed)
+    wl = azure_sampled_workload(config.n_requests, total_cores, load, seed)
+    host = OpenLambdaConfig(
+        machine=machine(config.cores_per_host),
+        scheduler=scheduler,
+        engine="fluid",
+        seed=seed,
+        faults=plan,
+        retry=RetryPolicy(max_attempts=config.max_attempts, seed=seed),
+        admission=admission,
+        timeout=config.timeout,
+    )
+    return run_cluster(
+        wl,
+        ClusterConfig(
+            n_hosts=config.n_hosts, host=host, placement="least_loaded"
+        ),
+    )
+
+
+def run(config: Config, seed: int = 0) -> Result:
     runs: Dict[str, Dict[str, RunResult]] = {}
-    for scenario, (load, plan, admission) in _scenarios(config, seed).items():
-        wl = azure_sampled_workload(config.n_requests, total_cores, load, seed)
-        runs[scenario] = {}
-        for scheduler in SCHEDULERS:
-            host = OpenLambdaConfig(
-                machine=machine(config.cores_per_host),
-                scheduler=scheduler,
-                engine="fluid",
-                seed=seed,
-                faults=plan,
-                retry=retry,
-                admission=admission,
-                timeout=config.timeout,
-            )
-            runs[scenario][scheduler] = run_cluster(
-                wl,
-                ClusterConfig(
-                    n_hosts=config.n_hosts, host=host, placement="least_loaded"
-                ),
-            )
+    for scenario in _scenarios(config, seed):
+        runs[scenario] = {
+            scheduler: run_cell(config, seed, scenario, scheduler)
+            for scheduler in SCHEDULERS
+        }
     return Result(runs=runs, config=config)
 
 
@@ -135,33 +152,134 @@ def goodput_gain(result: Result, scenario: str) -> float:
     return sfs.goodput_rps / cfs.goodput_rps if cfs.goodput_rps else float("inf")
 
 
-def _cells(r: RunResult) -> Tuple[str, ...]:
+# ----------------------------------------------------------------------
+# cell summaries: the one representation both the serial render and the
+# repro.pool shard artifacts are built from
+# ----------------------------------------------------------------------
+def cell_summary(scenario: str, scheduler: str, r: RunResult,
+                 ) -> Dict[str, Any]:
+    """JSON-safe digest of one grid cell (plain floats round-trip
+    exactly through JSON, so a persisted cell renders identically)."""
     s = fault_summary(r)
-    att = CHAOS_SLO.attainment(r.records)
-    return (
-        f"{s.goodput_rps:.1f}",
-        f"{s.goodput_fraction:.1%}",
-        f"{s.retries_per_request:.3f}",
-        f"{s.shed_rate:.1%}",
-        f"{s.abandonment_rate:.1%}",
-        f"{att:.1%}",
-    )
+    return {
+        "scenario": scenario,
+        "scheduler": scheduler,
+        "goodput_rps": float(s.goodput_rps),
+        "goodput_fraction": float(s.goodput_fraction),
+        "retries_per_request": float(s.retries_per_request),
+        "shed_rate": float(s.shed_rate),
+        "abandonment_rate": float(s.abandonment_rate),
+        "slo_attainment": float(CHAOS_SLO.attainment(r.records)),
+        "events_executed": int(r.meta.get("events_executed", 0)),
+    }
 
 
-def render(result: Result) -> str:
-    rows = summarise_sweep(result.runs, _cells, key_fmt=str)
+def _render_cells(cells: Sequence[Dict[str, Any]], config: Config) -> str:
+    """The chaos table + goodput gains from grid-ordered cell digests."""
+    rows = [
+        (
+            c["scenario"],
+            c["scheduler"],
+            f"{c['goodput_rps']:.1f}",
+            f"{c['goodput_fraction']:.1%}",
+            f"{c['retries_per_request']:.3f}",
+            f"{c['shed_rate']:.1%}",
+            f"{c['abandonment_rate']:.1%}",
+            f"{c['slo_attainment']:.1%}",
+        )
+        for c in cells
+    ]
     table = format_table(
         ["scenario", "sched", "goodput (r/s)", "good %", "retries/req",
          "shed %", "abandoned %", f"SLO ({CHAOS_SLO.name})"],
         rows,
         title=(
-            f"chaos: {result.config.n_hosts}x{result.config.cores_per_host}"
+            f"chaos: {config.n_hosts}x{config.cores_per_host}"
             "-core cluster under sandbox crashes, a straggler host, and "
             "overload shedding"
         ),
     )
-    gains = [
-        f"SFS goodput gain over CFS under {sc}: {goodput_gain(result, sc):.2f}x"
-        for sc in result.runs
-    ]
+    goodput: Dict[str, Dict[str, float]] = {}
+    for c in cells:
+        goodput.setdefault(c["scenario"], {})[c["scheduler"]] = \
+            c["goodput_rps"]
+    gains = []
+    for sc, by_sched in goodput.items():
+        gain = (by_sched["sfs"] / by_sched["cfs"]
+                if by_sched.get("cfs") else float("inf"))
+        gains.append(f"SFS goodput gain over CFS under {sc}: {gain:.2f}x")
     return table + "\n" + "\n".join(gains)
+
+
+def render(result: Result) -> str:
+    cells = [
+        cell_summary(scenario, scheduler, r)
+        for scenario, by_sched in result.runs.items()
+        for scheduler, r in by_sched.items()
+    ]
+    return _render_cells(cells, result.config)
+
+
+# ----------------------------------------------------------------------
+# repro.pool shard protocol (cell-granular parallel sweeps)
+# ----------------------------------------------------------------------
+def shards(config: Config, seed: int) -> List[Tuple[str, Dict[str, Any]]]:
+    """``(shard_id, payload)`` for every grid cell, in grid order."""
+    return [
+        (f"{scenario}.{scheduler}",
+         {"scenario": scenario, "scheduler": scheduler, "seed": seed,
+          "config": asdict(config)})
+        for scenario in _scenarios(config, seed)
+        for scheduler in SCHEDULERS
+    ]
+
+
+def run_shard(payload: Dict[str, Any]) -> str:
+    """Execute one cell in (possibly) a pool worker; returns the cell
+    artifact: one line of canonical JSON."""
+    config = Config(**payload["config"])
+    r = run_cell(config, payload["seed"], payload["scenario"],
+                 payload["scheduler"])
+    cell = cell_summary(payload["scenario"], payload["scheduler"], r)
+    return json.dumps(cell, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def render_shards(texts: Sequence[str], config: Config) -> str:
+    """Merged rendering from grid-ordered cell artifacts — byte-equal
+    to :func:`render` on an equivalent serial :class:`Result`."""
+    return _render_cells([json.loads(t) for t in texts], config)
+
+
+def emit_explorers(out_dir, config: Config, seed: int = 0,
+                   scenarios: Optional[Sequence[str]] = None):
+    """Per-point interactive explorers for the chaos grid.
+
+    For each scenario this replays a single-host slice of the cluster
+    point (``n_requests / n_hosts`` requests on one
+    ``cores_per_host``-core machine, same fault plan / retry /
+    admission / deadline) under both schedulers with tracing on, and
+    writes ``<scenario>-cfs.html`` / ``<scenario>-sfs.html`` plus the
+    aligned ``<scenario>-diff.html`` via
+    :func:`repro.experiments.common.emit_point_explorers`.  Returns the
+    written paths.
+    """
+    from repro.experiments.common import emit_point_explorers
+    from repro.experiments.runner import RunConfig
+
+    paths = []
+    for scenario, (load, plan, admission) in _scenarios(config, seed).items():
+        if scenarios is not None and scenario not in scenarios:
+            continue
+        n = max(1, config.n_requests // config.n_hosts)
+        wl = azure_sampled_workload(n, config.cores_per_host, load, seed)
+        base = RunConfig(
+            engine="fluid",
+            machine=machine(config.cores_per_host),
+            faults=plan,
+            retry=RetryPolicy(max_attempts=config.max_attempts, seed=seed),
+            admission=admission,
+            timeout=config.timeout,
+        )
+        paths.extend(emit_point_explorers(
+            out_dir, wl, base, schedulers=SCHEDULERS, label=scenario))
+    return paths

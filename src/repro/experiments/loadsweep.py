@@ -13,11 +13,11 @@ different views of this single sweep:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Tuple
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Tuple
 
 from repro.experiments.common import azure_sampled_workload, machine
-from repro.experiments.runner import RunConfig, run_many
+from repro.experiments.runner import RunConfig, run_workload
 from repro.metrics.collector import RunResult
 
 DEFAULT_LOADS = (0.5, 0.65, 0.8, 0.9, 1.0)
@@ -43,12 +43,63 @@ class Result:
     config: Config
 
 
-def run(config: Config, seed: int = 0) -> Result:
-    runs: Dict[float, Dict[str, RunResult]] = {}
+def run_cell(config: Config, seed: int, load: float,
+             scheduler: str) -> RunResult:
+    """One sweep cell: one load level under one scheduler.
+
+    The workload is regenerated from the seed, so the cell is a pure
+    function of ``(config, seed, load, scheduler)`` — computable in a
+    pool worker with the same bytes as the serial loop."""
+    wl = azure_sampled_workload(
+        config.n_requests, config.n_cores, load, seed=seed
+    )
     base = RunConfig(engine=config.engine, machine=machine(config.n_cores))
+    return run_workload(wl, base.with_scheduler(scheduler))
+
+
+def _coerce(config: Dict[str, Any]) -> Config:
+    """Rebuild a Config from a (possibly JSON-round-tripped) dict."""
+    return Config(**{
+        **config,
+        "loads": tuple(config["loads"]),
+        "schedulers": tuple(config["schedulers"]),
+    })
+
+
+def _pool_cell(payload: Dict[str, Any]) -> RunResult:
+    """Module-level pool task: one (load, scheduler) cell."""
+    return run_cell(_coerce(payload["config"]), payload["seed"],
+                    payload["load"], payload["scheduler"])
+
+
+def cells(config: Config, seed: int):
+    """``(cell_id, payload)`` for every sweep cell, in sweep order."""
+    return [
+        (f"load{load:g}.{sched}",
+         {"config": asdict(config), "seed": seed, "load": load,
+          "scheduler": sched})
+        for load in config.loads
+        for sched in config.schedulers
+    ]
+
+
+def run(config: Config, seed: int = 0, workers: int = 0) -> Result:
+    runs: Dict[float, Dict[str, RunResult]] = {}
+    if workers > 0:
+        from repro.pool import PoolConfig, PoolError, run_pool
+
+        items = cells(config, seed)
+        report = run_pool(items, _pool_cell, PoolConfig(workers=workers))
+        if not report.complete:
+            bad = ", ".join(o.item_id for o in report.quarantined)
+            raise PoolError(f"sweep cells quarantined: {bad}")
+        it = iter(report.results)
+        for load in config.loads:
+            runs[load] = {sched: next(it) for sched in config.schedulers}
+        return Result(runs=runs, config=config)
     for load in config.loads:
-        wl = azure_sampled_workload(
-            config.n_requests, config.n_cores, load, seed=seed
-        )
-        runs[load] = run_many(wl, base, config.schedulers)
+        runs[load] = {
+            sched: run_cell(config, seed, load, sched)
+            for sched in config.schedulers
+        }
     return Result(runs=runs, config=config)

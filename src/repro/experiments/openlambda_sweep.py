@@ -15,8 +15,8 @@ OpenLambda+CFS and OpenLambda+SFS.  The paper's anchors:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Dict, Tuple
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Tuple
 
 from repro.experiments.common import azure_sampled_workload, machine
 from repro.faas.openlambda import OpenLambdaConfig, run_openlambda
@@ -46,22 +46,65 @@ class Result:
     config: Config
 
 
-def run(config: Config, seed: int = 0) -> Result:
-    runs: Dict[float, Dict[str, RunResult]] = {}
+SCHEDULERS = ("cfs", "sfs")
+
+
+def run_cell(config: Config, seed: int, load: float,
+             scheduler: str) -> RunResult:
+    """One sweep cell: one load level through the full OL pipeline
+    under one scheduler; pure in ``(config, seed, load, scheduler)``."""
+    wl = azure_sampled_workload(
+        config.n_requests,
+        config.n_cores,
+        load,
+        seed=seed,
+        app_mix=OPENLAMBDA_MIX,
+        iat_kind=config.iat_kind,
+    )
     base = OpenLambdaConfig(
         machine=machine(config.n_cores), engine=config.engine, seed=seed
     )
+    return run_openlambda(wl, base.with_scheduler(scheduler))
+
+
+def _coerce(config: Dict[str, Any]) -> Config:
+    return Config(**{**config, "loads": tuple(config["loads"])})
+
+
+def _pool_cell(payload: Dict[str, Any]) -> RunResult:
+    """Module-level pool task: one (load, scheduler) cell."""
+    return run_cell(_coerce(payload["config"]), payload["seed"],
+                    payload["load"], payload["scheduler"])
+
+
+def cells(config: Config, seed: int):
+    """``(cell_id, payload)`` for every sweep cell, in sweep order."""
+    return [
+        (f"load{load:g}.{sched}",
+         {"config": asdict(config), "seed": seed, "load": load,
+          "scheduler": sched})
+        for load in config.loads
+        for sched in SCHEDULERS
+    ]
+
+
+def run(config: Config, seed: int = 0, workers: int = 0) -> Result:
+    runs: Dict[float, Dict[str, RunResult]] = {}
+    if workers > 0:
+        from repro.pool import PoolConfig, PoolError, run_pool
+
+        report = run_pool(cells(config, seed), _pool_cell,
+                          PoolConfig(workers=workers))
+        if not report.complete:
+            bad = ", ".join(o.item_id for o in report.quarantined)
+            raise PoolError(f"sweep cells quarantined: {bad}")
+        it = iter(report.results)
+        for load in config.loads:
+            runs[load] = {sched: next(it) for sched in SCHEDULERS}
+        return Result(runs=runs, config=config)
     for load in config.loads:
-        wl = azure_sampled_workload(
-            config.n_requests,
-            config.n_cores,
-            load,
-            seed=seed,
-            app_mix=OPENLAMBDA_MIX,
-            iat_kind=config.iat_kind,
-        )
         runs[load] = {
-            sched: run_openlambda(wl, base.with_scheduler(sched))
-            for sched in ("cfs", "sfs")
+            sched: run_cell(config, seed, load, sched)
+            for sched in SCHEDULERS
         }
     return Result(runs=runs, config=config)

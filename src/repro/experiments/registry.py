@@ -47,11 +47,30 @@ class Entry:
     title: str
     module: ModuleType
 
-    def run_scaled(self, seed: int = 0):
+    def run_scaled(self, seed: int = 0, workers: int = 0):
+        if workers > 0 and self.parallel:
+            return self.module.run(self.module.Config.scaled(), seed=seed,
+                                   workers=workers)
         return self.module.run(self.module.Config.scaled(), seed=seed)
 
     def render(self, result) -> str:
         return self.module.render(result)
+
+    @property
+    def parallel(self) -> bool:
+        """Does this experiment's ``run`` accept ``workers=``?"""
+        import inspect
+
+        return "workers" in inspect.signature(self.module.run).parameters
+
+    @property
+    def shardable(self) -> bool:
+        """Does this experiment expose the repro.pool shard protocol
+        (``shards`` / ``run_shard`` / ``render_shards``)?"""
+        return all(
+            hasattr(self.module, name)
+            for name in ("shards", "run_shard", "render_shards")
+        )
 
 
 REGISTRY: Dict[str, Entry] = {

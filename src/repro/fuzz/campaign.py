@@ -4,26 +4,36 @@ One campaign is ``budget`` cases drawn from ``(seed, 0..budget-1)``:
 generate, sweep the applicable oracles in registry order, shrink the
 first finding, and (optionally) write the minimal reproducer as a
 ``ReproCase`` JSON under ``out_dir``.  Each case runs under the
-SIGALRM watchdog from :mod:`repro.experiments.artifacts`, so a case
-that is slow *in wall time* (as opposed to livelocked in virtual time,
-which the per-case ``max_events`` guard catches) is recorded as a
-timeout instead of hanging the campaign.
+:func:`repro.experiments.artifacts.watchdog` wall-clock bound —
+``SIGALRM`` in the single-process case, the portable thread-timer
+:func:`~repro.experiments.artifacts.deadline` in pool workers — so a
+case that is slow *in wall time* (as opposed to livelocked in virtual
+time, which the per-case ``max_events`` guard catches) is recorded as
+a timeout instead of hanging the campaign.
 
 Everything in the summary is derived from the seed and the runs — no
-wall-clock timestamps, no paths outside ``out_dir`` — so two campaigns
-with the same ``(budget, seed)`` on the same tree render **byte-
-identical** summaries.  That property is itself under test: it is what
-makes a campaign finding citable ("seed 7, index 23") rather than
-anecdotal.
+wall-clock timestamps, no paths outside ``out_dir``, no process-local
+task ids — so two campaigns with the same ``(budget, seed)`` on the
+same tree render **byte-identical** summaries, *including* a campaign
+sharded across :mod:`repro.pool` workers (``workers > 0``): each case
+digests to canonical JSON in a worker, and the supervisor merges
+digests in case-index order.  That property is itself under test: it
+is what makes a campaign finding citable ("seed 7, index 23") rather
+than anecdotal.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
-from repro.experiments.artifacts import ExperimentTimeout, watchdog
+from repro.experiments.artifacts import (
+    ExperimentTimeout,
+    deadline,
+    watchdog,
+)
 from repro.fuzz.corpus import ReproCase
 from repro.fuzz.generators import make_case, plan_component_count
 from repro.fuzz.oracles import ORACLES, applicable_oracles
@@ -70,6 +80,9 @@ class CampaignSummary:
     applicable: Dict[str, int] = field(default_factory=dict)
     findings: List[Finding] = field(default_factory=list)
     timeouts: List[int] = field(default_factory=list)
+    #: case indices the pool quarantined (kept crashing workers even
+    #: after retries); always empty for single-process campaigns
+    quarantined: List[int] = field(default_factory=list)
 
     @property
     def n_findings(self) -> int:
@@ -87,6 +100,8 @@ class CampaignSummary:
             lines.append(f"    {oracle.name:<24} {n:>4}/{self.budget}")
         if self.timeouts:
             lines.append(f"  timed-out case indices: {self.timeouts}")
+        if self.quarantined:
+            lines.append(f"  quarantined case indices: {self.quarantined}")
         for f in self.findings:
             lines.append(
                 f"  [{self.seed}:{f.index}] {f.oracle}: "
@@ -98,6 +113,152 @@ class CampaignSummary:
         return "\n".join(lines)
 
 
+def _case_digest(
+    seed: int,
+    index: int,
+    budget: int,
+    case_seconds: Optional[float],
+    shrink_checks: int,
+    want_repro: bool,
+    portable: bool = False,
+) -> Dict[str, Any]:
+    """Run one case and digest it to a JSON-safe dict.
+
+    The digest is a pure function of ``(tree, seed, index, budget)`` —
+    details are tid-stripped, the reproducer document is embedded
+    rather than written — so a digest computed in a pool worker merges
+    into the same summary bytes a single-process campaign produces.
+    ``portable`` selects the thread-timer deadline over the watchdog
+    (pool workers must not touch ``SIGALRM``).
+    """
+    case = make_case(seed, index)
+    oracles = applicable_oracles(case)
+    digest: Dict[str, Any] = {
+        "index": index,
+        "applicable": [o.name for o in oracles],
+        "status": "clean",
+    }
+    guard = deadline if portable else watchdog
+    violation = hit = shrunk = None
+    try:
+        with guard(case_seconds):
+            for oracle in oracles:
+                violation = oracle.check(case)
+                if violation is not None:
+                    hit = oracle
+                    break
+            if violation is not None:
+                shrunk = shrink_case(case, hit, max_checks=shrink_checks)
+    except ExperimentTimeout:
+        digest["status"] = "timeout"
+        return digest
+    if violation is None:
+        return digest
+    digest.update(
+        status="finding",
+        oracle=hit.name,
+        detail=_stable_detail(violation.detail),
+        n_requests=len(case.workload),
+        shrunk_requests=len(shrunk.workload),
+        shrunk_components=plan_component_count(shrunk.config.faults),
+    )
+    if want_repro:
+        # pin what the *shrunk* case says, not the original: the
+        # reproducer is the shrunk case, and its violation detail
+        # (amounts, virtual times) differs from the full case's
+        final = hit.check(shrunk) or violation
+        digest["filename"] = f"repro-{seed}-{index}.json"
+        digest["repro_doc"] = ReproCase.from_fuzz_case(
+            shrunk, oracle=hit.name,
+            expected=_stable_detail(final.detail),
+            expect_violation=True,
+            note=f"found by `repro fuzz --budget {budget} --seed {seed}`",
+        ).to_json()
+    return digest
+
+
+def run_case_shard(payload: Dict[str, Any]) -> str:
+    """Module-level pool task: one campaign case, canonical JSON out."""
+    digest = _case_digest(
+        payload["seed"],
+        payload["index"],
+        payload["budget"],
+        payload.get("case_seconds"),
+        payload.get("shrink_checks", DEFAULT_BUDGET),
+        payload.get("want_repro", False),
+        portable=True,
+    )
+    return json.dumps(digest, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def case_items(
+    budget: int,
+    seed: int,
+    case_seconds: Optional[float] = DEFAULT_CASE_SECONDS,
+    shrink_checks: int = DEFAULT_BUDGET,
+    want_repro: bool = False,
+) -> List[Tuple[str, Dict[str, Any]]]:
+    """``(item_id, payload)`` pool items for one campaign."""
+    return [
+        (f"case{index}",
+         {"seed": seed, "index": index, "budget": budget,
+          "case_seconds": case_seconds, "shrink_checks": shrink_checks,
+          "want_repro": want_repro})
+        for index in range(budget)
+    ]
+
+
+def _merge_digest(
+    summary: CampaignSummary,
+    digest: Dict[str, Any],
+    out: Optional[Path],
+    counters: Dict[str, Any],
+    progress: Optional[Callable[[str], None]],
+    case_seconds: Optional[float],
+) -> None:
+    """Fold one case digest into the summary, in case-index order."""
+    seed, index = summary.seed, digest["index"]
+    for name in digest["applicable"]:
+        summary.applicable[name] = summary.applicable.get(name, 0) + 1
+    if counters:
+        counters["cases"].inc()
+        counters["oracle_runs"].inc(len(digest["applicable"]))
+    if digest["status"] == "timeout":
+        summary.n_timeouts += 1
+        summary.timeouts.append(index)
+        if counters:
+            counters["timeouts"].inc()
+        if progress is not None:
+            progress(f"[{seed}:{index}] TIMEOUT after {case_seconds}s")
+        return
+    if digest["status"] == "clean":
+        summary.n_clean += 1
+        if progress is not None and (index + 1) % 10 == 0:
+            progress(f"[{seed}:{index}] ... {index + 1}/{summary.budget} "
+                     f"clean so far: {summary.n_clean}")
+        return
+    if counters:
+        counters["violations"].inc()
+    filename = ""
+    if out is not None and "repro_doc" in digest:
+        filename = digest["filename"]
+        ReproCase.from_json(digest["repro_doc"]).save(out / filename)
+    finding = Finding(
+        index=index,
+        oracle=digest["oracle"],
+        detail=digest["detail"],
+        n_requests=digest["n_requests"],
+        shrunk_requests=digest["shrunk_requests"],
+        shrunk_components=digest["shrunk_components"],
+        filename=filename,
+    )
+    summary.findings.append(finding)
+    if progress is not None:
+        progress(f"[{seed}:{index}] {finding.oracle}: shrunk "
+                 f"{finding.n_requests} -> {finding.shrunk_requests} "
+                 f"requests")
+
+
 def run_campaign(
     budget: int,
     seed: int,
@@ -106,12 +267,21 @@ def run_campaign(
     case_seconds: Optional[float] = DEFAULT_CASE_SECONDS,
     shrink_checks: int = DEFAULT_BUDGET,
     progress: Optional[Callable[[str], None]] = None,
+    workers: int = 0,
+    max_retries: int = 2,
 ) -> CampaignSummary:
     """Fuzz ``budget`` cases from ``seed``; shrink and save findings.
 
     ``metrics`` is an optional :class:`repro.obs.MetricsRegistry`;
     ``progress`` an optional line sink (the CLI passes stderr printing,
     keeping stdout reserved for the deterministic summary).
+
+    ``workers > 0`` shards the cases across a supervised
+    :func:`repro.pool.run_pool`.  Case digests merge in index order,
+    so the summary (and every reproducer file) is byte-identical to
+    the single-process campaign's; a case that keeps killing workers
+    is quarantined (pool report under ``out_dir``) and listed in
+    ``summary.quarantined`` instead of aborting the campaign.
     """
     if budget <= 0:
         raise ValueError("budget must be positive")
@@ -121,78 +291,45 @@ def run_campaign(
         out = Path(out_dir)
         out.mkdir(parents=True, exist_ok=True)
 
-    c_cases = c_violations = c_timeouts = c_oracle_runs = None
+    counters: Dict[str, Any] = {}
     if metrics is not None:
-        c_cases = metrics.counter(
-            "repro_fuzz_cases_total", help="fuzz cases executed")
-        c_violations = metrics.counter(
-            "repro_fuzz_violations_total", help="oracle findings")
-        c_timeouts = metrics.counter(
-            "repro_fuzz_timeouts_total", help="cases killed by the watchdog")
-        c_oracle_runs = metrics.counter(
-            "repro_fuzz_oracle_runs_total", help="oracle invocations")
+        counters = {
+            "cases": metrics.counter(
+                "repro_fuzz_cases_total", help="fuzz cases executed"),
+            "violations": metrics.counter(
+                "repro_fuzz_violations_total", help="oracle findings"),
+            "timeouts": metrics.counter(
+                "repro_fuzz_timeouts_total",
+                help="cases killed by the watchdog"),
+            "oracle_runs": metrics.counter(
+                "repro_fuzz_oracle_runs_total", help="oracle invocations"),
+        }
+
+    if workers > 0:
+        from repro.pool import PoolConfig, run_pool
+
+        report = run_pool(
+            case_items(budget, seed, case_seconds=case_seconds,
+                       shrink_checks=shrink_checks,
+                       want_repro=out is not None),
+            run_case_shard,
+            PoolConfig(workers=workers, max_retries=max_retries),
+            quarantine_path=(str(out / "quarantine.json")
+                             if out is not None else None),
+            metrics=metrics,
+            progress=progress,
+        )
+        for index, text in enumerate(report.results):
+            if text is None:  # quarantined, not abandoned silently
+                summary.quarantined.append(index)
+                continue
+            _merge_digest(summary, json.loads(text), out, counters,
+                          progress, case_seconds)
+        return summary
 
     for index in range(budget):
-        case = make_case(seed, index)
-        oracles = applicable_oracles(case)
-        for oracle in oracles:
-            summary.applicable[oracle.name] = \
-                summary.applicable.get(oracle.name, 0) + 1
-        if c_cases is not None:
-            c_cases.inc()
-            c_oracle_runs.inc(len(oracles))
-        violation = None
-        hit = None
-        try:
-            with watchdog(case_seconds):
-                for oracle in oracles:
-                    violation = oracle.check(case)
-                    if violation is not None:
-                        hit = oracle
-                        break
-                if violation is not None:
-                    shrunk = shrink_case(case, hit, max_checks=shrink_checks)
-        except ExperimentTimeout:
-            summary.n_timeouts += 1
-            summary.timeouts.append(index)
-            if c_timeouts is not None:
-                c_timeouts.inc()
-            if progress is not None:
-                progress(f"[{seed}:{index}] TIMEOUT after {case_seconds}s")
-            continue
-        if violation is None:
-            summary.n_clean += 1
-            if progress is not None and (index + 1) % 10 == 0:
-                progress(f"[{seed}:{index}] ... {index + 1}/{budget} clean "
-                         f"so far: {summary.n_clean}")
-            continue
-        if c_violations is not None:
-            c_violations.inc()
-        filename = ""
-        if out is not None:
-            # pin what the *shrunk* case says, not the original: the
-            # reproducer is the shrunk case, and its violation detail
-            # (amounts, virtual times) differs from the full case's
-            final = hit.check(shrunk) or violation
-            filename = f"repro-{seed}-{index}.json"
-            ReproCase.from_fuzz_case(
-                shrunk, oracle=hit.name,
-                expected=_stable_detail(final.detail),
-                expect_violation=True,
-                note=f"found by `repro fuzz --budget {budget} --seed {seed}`",
-            ).save(out / filename)
-        finding = Finding(
-            index=index,
-            oracle=hit.name,
-            detail=violation.detail,
-            n_requests=len(case.workload),
-            shrunk_requests=len(shrunk.workload),
-            shrunk_components=plan_component_count(shrunk.config.faults),
-            filename=filename,
-        )
-        summary.findings.append(finding)
-        if progress is not None:
-            progress(f"[{seed}:{index}] {hit.name}: shrunk "
-                     f"{finding.n_requests} -> {finding.shrunk_requests} "
-                     f"requests")
+        digest = _case_digest(seed, index, budget, case_seconds,
+                              shrink_checks, want_repro=out is not None)
+        _merge_digest(summary, digest, out, counters, progress,
+                      case_seconds)
     return summary

@@ -163,6 +163,37 @@ def _openlambda(quick: bool):
     return run
 
 
+def _pool_scenario(workers: int, quick: bool):
+    from repro.experiments import chaos
+    from repro.pool import PoolConfig, run_pool
+
+    cfg = chaos.Config(n_requests=120 if quick else 500, n_hosts=2,
+                       cores_per_host=4)
+    items = chaos.shards(cfg, seed=7)
+    pool_cfg = PoolConfig(workers=workers)
+
+    def run() -> int:
+        report = run_pool(items, chaos.run_shard, pool_cfg)
+        return sum(json.loads(t)["events_executed"]
+                   for t in report.results)
+
+    return run
+
+
+@_scenario("pool_serial", "chaos mini-grid through repro.pool, inline")
+def _pool_serial(quick: bool):
+    return _pool_scenario(0, quick)
+
+
+# NB: the serial-vs-4-workers ratio is host-dependent: on a multi-core
+# host it records the parallel speedup, on a single-core host (CI
+# containers) it records pure supervision overhead.  The snapshot's
+# host.cpus field says which one you are looking at.
+@_scenario("pool_workers4", "chaos mini-grid through repro.pool, 4 workers")
+def _pool_workers4(quick: bool):
+    return _pool_scenario(4, quick)
+
+
 @_scenario("cluster", "4-host cluster, least-loaded placement")
 def _cluster(quick: bool):
     from repro.faas.cluster import ClusterConfig, run_cluster
@@ -236,6 +267,7 @@ def run_scenarios(names: Optional[List[str]] = None, quick: bool = False,
         "host": {
             "python": platform.python_version(),
             "platform": sys.platform,
+            "cpus": os.cpu_count() or 1,
         },
         "scenarios": scenarios,
     }

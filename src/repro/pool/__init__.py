@@ -1,0 +1,39 @@
+"""``repro.pool`` — fault-tolerant parallel execution supervisor.
+
+Shards independent work items (sweep points, chaos grid cells, fuzz
+case indices) across worker processes with heartbeats, portable
+deadlines, jittered retries, quarantine instead of abort, and a
+deterministic index-ordered merge — see
+:mod:`repro.pool.supervisor` for the full failure model and
+``docs/robustness.md`` for the prose version.
+"""
+
+from repro.pool.supervisor import (
+    SCHEMA,
+    ItemOutcome,
+    PoolConfig,
+    PoolError,
+    PoolReport,
+    WorkItem,
+    load_quarantine,
+    replay_quarantine,
+    resolve_task,
+    run_pool,
+    task_name,
+    write_quarantine,
+)
+
+__all__ = [
+    "SCHEMA",
+    "ItemOutcome",
+    "PoolConfig",
+    "PoolError",
+    "PoolReport",
+    "WorkItem",
+    "load_quarantine",
+    "replay_quarantine",
+    "resolve_task",
+    "run_pool",
+    "task_name",
+    "write_quarantine",
+]

@@ -17,6 +17,7 @@ from repro.experiments.artifacts import (
     ShardOutcome,
     atomic_write_text,
     config_digest,
+    deadline,
     run_sweep,
     watchdog,
 )
@@ -119,6 +120,79 @@ def test_watchdog_disabled():
         time.sleep(0.01)
     with watchdog(0):
         time.sleep(0.01)
+
+
+# ----------------------------------------------------------------------
+# the portable deadline (thread-timer; no SIGALRM)
+# ----------------------------------------------------------------------
+def _busy_wait(seconds):
+    """Spin in bytecode so an async exception can be delivered."""
+    end = time.monotonic() + seconds
+    while time.monotonic() < end:
+        pass
+
+
+def test_deadline_fires_on_hang():
+    with pytest.raises(ExperimentTimeout):
+        with deadline(0.05):
+            _busy_wait(30)
+
+
+def test_deadline_disarmed_after_block():
+    with deadline(0.05):
+        pass
+    _busy_wait(0.1)  # a stale timer would raise here and kill the test
+
+
+def test_deadline_disabled():
+    with deadline(None):
+        pass
+    with deadline(0):
+        pass
+
+
+def test_deadline_works_off_main_thread():
+    """The whole point of the portable path: SIGALRM cannot be armed
+    outside the main thread, the thread-timer deadline can."""
+    import threading
+
+    outcome = {}
+
+    def work():
+        try:
+            with deadline(0.05):
+                _busy_wait(30)
+            outcome["status"] = "no-timeout"
+        except ExperimentTimeout:
+            outcome["status"] = "timeout"
+
+    t = threading.Thread(target=work)
+    t.start()
+    t.join(timeout=20)
+    assert not t.is_alive()
+    assert outcome["status"] == "timeout"
+
+
+def test_watchdog_delegates_off_main_thread():
+    """watchdog() run from a worker thread silently takes the portable
+    path instead of dying on signal.setitimer."""
+    import threading
+
+    outcome = {}
+
+    def work():
+        try:
+            with watchdog(0.05):
+                _busy_wait(30)
+            outcome["status"] = "no-timeout"
+        except ExperimentTimeout:
+            outcome["status"] = "timeout"
+
+    t = threading.Thread(target=work)
+    t.start()
+    t.join(timeout=20)
+    assert not t.is_alive()
+    assert outcome["status"] == "timeout"
 
 
 # ----------------------------------------------------------------------

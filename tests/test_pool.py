@@ -1,0 +1,293 @@
+"""repro.pool: the fault-tolerant parallel execution supervisor.
+
+The acceptance bar, mirroring the artifact-store tests one level up:
+kill workers (or the supervisor itself) mid-campaign, and the final
+merged artifacts are byte-identical to an undisturbed single-process
+run — worker count, retries, and crashes never leak into results.
+"""
+
+import hashlib
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.experiments.artifacts import ArtifactStore
+from repro.obs import MetricsRegistry
+from repro.pool import (
+    PoolConfig,
+    PoolError,
+    load_quarantine,
+    replay_quarantine,
+    resolve_task,
+    run_pool,
+    task_name,
+)
+from repro.pool.tasks import demo_item
+
+REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+
+
+def _items(n, **extra):
+    return [(f"item{i}", {"name": f"item{i}", **extra}) for i in range(n)]
+
+
+def _expected(n):
+    return [f"item{i}: " + hashlib.sha256(f"item{i}".encode())
+            .hexdigest()[:16] + "\n" for i in range(n)]
+
+
+def _tree_bytes(root):
+    out = {}
+    for name in sorted(os.listdir(root)):
+        with open(os.path.join(root, name), "rb") as fh:
+            out[name] = fh.read()
+    return out
+
+
+# ----------------------------------------------------------------------
+# determinism: results are index-ordered and worker-count-independent
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("workers", [0, 1, 4])
+def test_results_identical_across_worker_counts(workers):
+    report = run_pool(_items(6), demo_item, PoolConfig(workers=workers))
+    assert report.results == _expected(6)
+    assert report.n_ok == 6
+    assert [o.status for o in report.outcomes] == ["ok"] * 6
+    assert report.complete
+
+
+def test_store_tree_byte_identical_across_worker_counts(tmp_path):
+    trees = {}
+    for workers in (1, 4):
+        store = ArtifactStore(str(tmp_path / f"w{workers}"))
+        report = run_pool(
+            _items(6), demo_item, PoolConfig(workers=workers),
+            store=store, merge_id="merged")
+        assert report.merged_id == "merged"
+        trees[workers] = _tree_bytes(store.root)
+    assert trees[1] == trees[4]
+
+
+def test_duplicate_item_ids_rejected():
+    with pytest.raises(PoolError, match="duplicate item id"):
+        run_pool([("a", {}), ("a", {})], demo_item, PoolConfig(workers=0))
+
+
+# ----------------------------------------------------------------------
+# worker death: killed once -> retried -> ok; killed always -> quarantine
+# ----------------------------------------------------------------------
+def test_worker_killed_mid_item_is_retried_then_ok():
+    registry = MetricsRegistry()
+    report = run_pool(
+        _items(5), demo_item,
+        PoolConfig(workers=2, chaos_kill="item2"),
+        metrics=registry)
+    assert report.results == _expected(5)
+    assert report.n_retried >= 1
+    assert report.complete
+    by_name = {i.name: i for i in registry}
+    assert by_name["repro_pool_items_ok_total"].value == 5
+    assert by_name["repro_pool_items_retried_total"].value >= 1
+    assert by_name["repro_pool_items_quarantined_total"].value == 0
+
+
+def test_worker_killed_every_attempt_is_quarantined(tmp_path):
+    q_path = str(tmp_path / "q.json")
+    items = _items(3) + [("killer", {"name": "killer", "die": True})]
+    report = run_pool(
+        items, demo_item,
+        PoolConfig(workers=2, max_retries=1),
+        quarantine_path=q_path)
+    assert not report.complete
+    assert [o.item_id for o in report.quarantined] == ["killer"]
+    assert report.quarantined[0].attempts == 2  # 1 + max_retries
+    assert all(
+        "worker died" in e for e in report.quarantined[0].errors)
+    # the healthy items still completed despite the repeated kills
+    assert report.results[:3] == _expected(3)
+    assert report.results[3] is None
+    assert report.quarantine_path == q_path
+
+
+# ----------------------------------------------------------------------
+# quarantine: poison isolated, report replayable, merged withheld
+# ----------------------------------------------------------------------
+def test_poison_item_quarantined_and_replayable(tmp_path):
+    store = ArtifactStore(str(tmp_path))
+    items = _items(3) + [("bad", {"name": "bad", "fail": True})]
+    report = run_pool(
+        items, demo_item, PoolConfig(workers=2, max_retries=2),
+        store=store, merge_id="merged")
+    assert [o.item_id for o in report.quarantined] == ["bad"]
+    assert report.quarantined[0].attempts == 3
+    assert report.merged_id is None  # incomplete sweeps never merge
+    q_path = os.path.join(store.root, "quarantine.json")
+    assert report.quarantine_path == q_path
+
+    doc = load_quarantine(q_path)
+    assert doc["task"] == "repro.pool.tasks:demo_item"
+    assert doc["items"][0]["replayable"]
+
+    # the replay reproduces the recorded failure deterministically
+    results = replay_quarantine(q_path)
+    assert results == [("bad", False, "RuntimeError: poisoned item bad")]
+    # twice: same bytes in, same verdict out
+    assert replay_quarantine(q_path) == results
+
+
+def test_quarantine_cleared_once_cured(tmp_path):
+    store = ArtifactStore(str(tmp_path))
+    run_pool(_items(2) + [("bad", {"name": "bad", "fail": True})],
+             demo_item, PoolConfig(workers=0, max_retries=0), store=store)
+    q_path = os.path.join(store.root, "quarantine.json")
+    assert os.path.exists(q_path)
+    # same ids, poison removed (e.g. the underlying bug was fixed)
+    report = run_pool(_items(2) + [("bad", {"name": "bad"})], demo_item,
+                      PoolConfig(workers=0), store=store, resume=True)
+    assert report.complete
+    assert not os.path.exists(q_path)
+
+
+def test_task_name_roundtrip():
+    assert task_name(demo_item) == "repro.pool.tasks:demo_item"
+    assert resolve_task("repro.pool.tasks:demo_item") is demo_item
+    with pytest.raises(ValueError, match="malformed task name"):
+        resolve_task("no-colon")
+
+
+# ----------------------------------------------------------------------
+# deadlines: a hung item times out instead of wedging the pool
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("workers", [0, 2])
+def test_hung_item_times_out_and_quarantines(tmp_path, workers):
+    items = _items(2) + [("hung", {"name": "hung", "hang_s": 30.0})]
+    t0 = time.monotonic()
+    report = run_pool(
+        items, demo_item,
+        PoolConfig(workers=workers, max_retries=0, item_seconds=0.3),
+        quarantine_path=str(tmp_path / "q.json"))
+    assert time.monotonic() - t0 < 20
+    assert [o.item_id for o in report.quarantined] == ["hung"]
+    assert any("timeout" in e for e in report.quarantined[0].errors)
+    assert report.results[:2] == _expected(2)
+
+
+# ----------------------------------------------------------------------
+# resume: skip verified artifacts; survive a SIGKILLed supervisor
+# ----------------------------------------------------------------------
+def test_resume_skips_verified_items(tmp_path):
+    store = ArtifactStore(str(tmp_path))
+    run_pool(_items(4), demo_item, PoolConfig(workers=0), store=store,
+             merge_id="merged")
+    report = run_pool(_items(4), demo_item, PoolConfig(workers=0),
+                      store=store, resume=True, merge_id="merged")
+    assert report.n_skipped == 4
+    assert report.n_ok == 0
+    assert report.results == _expected(4)  # skipped items still reduce
+
+
+_DRIVER = """\
+import sys
+sys.path.insert(0, {src!r})
+from repro.experiments.artifacts import ArtifactStore
+from repro.pool import PoolConfig, run_pool
+from repro.pool.tasks import demo_item
+
+items = [(f"item{{i}}", {{"name": f"item{{i}}", "sleep_s": 0.3}})
+         for i in range(8)]
+run_pool(items, demo_item, PoolConfig(workers=2), store=ArtifactStore(sys.argv[1]),
+         resume="--resume" in sys.argv, merge_id="merged")
+"""
+
+
+def test_supervisor_sigkill_then_resume_is_byte_identical(tmp_path):
+    """SIGKILL the whole supervisor process mid-campaign, resume, and
+    compare the store against an undisturbed run — same sha256s."""
+    driver = tmp_path / "driver.py"
+    driver.write_text(_DRIVER.format(src=REPO_SRC))
+
+    clean = tmp_path / "clean"
+    subprocess.run([sys.executable, str(driver), str(clean)], check=True,
+                   timeout=120)
+
+    crashed = tmp_path / "crashed"
+    proc = subprocess.Popen([sys.executable, str(driver), str(crashed)])
+    try:
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            done = (len([f for f in os.listdir(crashed)
+                         if f.endswith(".manifest.json")])
+                    if crashed.is_dir() else 0)
+            if done >= 2:
+                break
+            if proc.poll() is not None:
+                pytest.fail("driver finished before it could be killed")
+            time.sleep(0.02)
+        else:
+            pytest.fail("driver never produced two artifacts")
+        proc.send_signal(signal.SIGKILL)
+    finally:
+        proc.wait(timeout=30)
+
+    n_before = len([f for f in os.listdir(crashed)
+                    if f.endswith(".manifest.json")])
+    assert n_before < 9  # merged never happened; the kill landed mid-run
+
+    subprocess.run([sys.executable, str(driver), str(crashed), "--resume"],
+                   check=True, timeout=120)
+    assert _tree_bytes(crashed) == _tree_bytes(clean)
+
+
+# ----------------------------------------------------------------------
+# experiment + fuzz integration (tiny configs)
+# ----------------------------------------------------------------------
+def test_chaos_shards_render_byte_identical_to_serial():
+    from repro.experiments import chaos
+
+    cfg = chaos.Config(n_requests=240, n_hosts=2, cores_per_host=4)
+    serial = chaos.render(chaos.run(cfg, seed=0))
+    texts = [chaos.run_shard(p) for _, p in chaos.shards(cfg, seed=0)]
+    assert chaos.render_shards(texts, cfg) == serial
+
+
+def test_chaos_shard_payloads_survive_json():
+    """Quarantined chaos cells must replay from the JSON report."""
+    from repro.experiments import chaos
+
+    _, payload = chaos.shards(chaos.Config(n_requests=8), seed=0)[0]
+    restored = json.loads(json.dumps(payload))
+    assert chaos.Config(**restored["config"]) == chaos.Config(n_requests=8)
+
+
+def test_loadsweep_parallel_equals_serial():
+    from repro.experiments import loadsweep
+
+    cfg = loadsweep.Config(n_requests=200, n_cores=2, loads=(0.5, 0.9))
+    serial = loadsweep.run(cfg, seed=0)
+    par = loadsweep.run(cfg, seed=0, workers=2)
+    for load in cfg.loads:
+        for sched in cfg.schedulers:
+            assert (serial.runs[load][sched].records
+                    == par.runs[load][sched].records), (load, sched)
+
+
+def test_fuzz_campaign_parallel_summary_byte_identical():
+    from repro.fuzz.campaign import run_campaign
+
+    serial = run_campaign(budget=6, seed=3, case_seconds=None)
+    par = run_campaign(budget=6, seed=3, case_seconds=None, workers=3)
+    assert serial.render() == par.render()
+
+
+def test_registry_exposes_parallel_and_shardable():
+    from repro.experiments.registry import REGISTRY
+
+    assert REGISTRY["chaos"].shardable
+    assert REGISTRY["fig6"].parallel
+    assert not REGISTRY["fig1"].parallel
+    assert not REGISTRY["fig1"].shardable
