@@ -4,6 +4,8 @@ The subcommands cover the common flows without writing Python::
 
     python -m repro run --scheduler sfs --load 1.0 --requests 5000
     python -m repro compare --schedulers cfs sfs srtf --load 0.9
+    python -m repro replay --requests 1000000 --checkpoint-dir ckpt/
+    python -m repro replay --requests 1000000 --checkpoint-dir ckpt/ --resume
     python -m repro trace out.json --scheduler sfs --requests 500
     python -m repro experiment fig6 headline ext-eevdf
     python -m repro experiment chaos headline --out results/ --resume
@@ -261,6 +263,124 @@ def cmd_trace(args) -> int:
         rows = sorted(kinds.items())
         print(format_table(["kind", "events"], rows, title="trace summary"))
     return rc
+
+
+def cmd_replay(args) -> int:
+    """Streaming long-horizon replay (repro.stream)."""
+    import json
+
+    from repro.sim.units import SEC
+    from repro.stream import (
+        CheckpointError,
+        CheckpointStore,
+        MemoryBudgetExceeded,
+        MemoryWatchdog,
+        ReplayConfig,
+        StreamReplayDriver,
+        StreamSummary,
+        rss_kb,
+    )
+    from repro.workload.stream import RequestStream, StreamConfig
+
+    # fail on unwritable destinations before the (long) run, exit 2
+    for path, what in ((args.output, "replay output"),
+                       (args.spill, "spill"),
+                       (args.stats, "stats")):
+        if path:
+            _check_parent(path, what)
+    if args.checkpoint_dir:
+        _check_parent(os.path.normpath(args.checkpoint_dir), "checkpoint")
+    if args.resume and not args.checkpoint_dir:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+
+    checkpointer = (CheckpointStore(args.checkpoint_dir)
+                    if args.checkpoint_dir else None)
+    watchdog = (MemoryWatchdog(args.mem_budget * 1024)
+                if args.mem_budget else None)
+    # checkpoint ticks exist to serve the checkpointer and the
+    # watchdog; with neither, drop them from the event stream entirely
+    every = None
+    if checkpointer is not None or watchdog is not None:
+        every = int(args.checkpoint_every * SEC)
+
+    scfg = StreamConfig(
+        n_requests=args.requests,
+        n_cores=args.cores,
+        target_load=args.load,
+        source=args.source,
+        iat_kind=args.iat,
+        io_fraction=args.io_fraction,
+    )
+    rcfg = ReplayConfig(
+        scheduler=args.scheduler,
+        engine=args.engine,
+        machine=MachineParams(n_cores=args.cores),
+        horizon=int(args.horizon * SEC) if args.horizon else None,
+        checkpoint_every=every,
+    )
+    driver = StreamReplayDriver(
+        RequestStream(scfg, seed=args.seed),
+        rcfg,
+        aggregator=StreamSummary(spill_path=args.spill),
+        checkpointer=checkpointer,
+        watchdog=watchdog,
+    )
+    if args.resume:
+        try:
+            driver = checkpointer.load(expect_config=driver.config_dict())
+        except CheckpointError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if watchdog is not None:
+            # RSS is process state: budget the new process, keep nothing
+            driver.watchdog = watchdog
+        print(f"resumed from t={driver.resumed_from}us "
+              f"({driver.done} requests done)", file=sys.stderr)
+
+    wall0 = time.perf_counter()
+    try:
+        doc = driver.run()
+    except MemoryBudgetExceeded as exc:
+        report = dict(exc.report)
+        report["wall_s"] = round(time.perf_counter() - wall0, 3)
+        text = json.dumps(report, sort_keys=True, indent=2) + "\n"
+        if args.stats:
+            with open(args.stats, "w") as fh:
+                fh.write(text)
+        print(f"error: {exc}", file=sys.stderr)
+        if report.get("checkpoint"):
+            print(f"checkpoint saved: {report['checkpoint']}",
+                  file=sys.stderr)
+        return 1
+    wall = time.perf_counter() - wall0
+
+    text = StreamSummary.to_json(doc)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+    else:
+        sys.stdout.write(text)
+
+    # run stats are wall-clock/host facts, deliberately OUTSIDE the
+    # deterministic summary document
+    stats = {
+        "wall_s": round(wall, 3),
+        "rss_kb": rss_kb(),
+        "peak_rss_kb": (driver.watchdog.peak_kb
+                        if driver.watchdog is not None else rss_kb()),
+        "requests": doc["requests"],
+        "events_executed": doc["events_executed"],
+        "checkpoints_written": driver.checkpoints_written,
+        "resumed_from_us": driver.resumed_from,
+    }
+    if args.stats:
+        with open(args.stats, "w") as fh:
+            fh.write(json.dumps(stats, sort_keys=True, indent=2) + "\n")
+    print(f"{doc['requests']} requests in {wall:.1f}s wall "
+          f"({stats['rss_kb']} KiB RSS, "
+          f"{driver.checkpoints_written} checkpoints)", file=sys.stderr)
+    return 0
 
 
 def cmd_report(args) -> int:
@@ -669,6 +789,43 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print per-kind event counts after writing")
     _add_workload_args(p_tr)
     p_tr.set_defaults(func=cmd_trace)
+
+    p_rp = sub.add_parser(
+        "replay",
+        help="streaming long-horizon replay with checkpoint/resume")
+    p_rp.add_argument("--requests", type=int, default=1_000_000,
+                      help="stream length (requests)")
+    p_rp.add_argument("--horizon", type=float, metavar="SEC",
+                      help="stop admitting arrivals after this much "
+                           "virtual time (in-flight work still drains)")
+    p_rp.add_argument("--source", choices=("faasbench", "azure"),
+                      default="faasbench")
+    p_rp.add_argument("--scheduler", choices=("cfs", "fifo", "rr", "sfs"),
+                      default="sfs")
+    p_rp.add_argument("--engine", choices=("fluid", "discrete"),
+                      default="fluid")
+    p_rp.add_argument("--cores", type=int, default=12)
+    p_rp.add_argument("--load", type=float, default=0.8)
+    p_rp.add_argument("--iat", choices=("poisson", "uniform"),
+                      default="poisson")
+    p_rp.add_argument("--io-fraction", type=float, default=0.0)
+    p_rp.add_argument("--seed", type=int, default=0)
+    p_rp.add_argument("--checkpoint-every", type=float, default=60.0,
+                      metavar="SEC", help="virtual-time checkpoint "
+                      "interval (needs --checkpoint-dir or --mem-budget)")
+    p_rp.add_argument("--checkpoint-dir", metavar="DIR",
+                      help="directory for the in-run checkpoint")
+    p_rp.add_argument("--resume", action="store_true",
+                      help="restore from --checkpoint-dir and continue")
+    p_rp.add_argument("--mem-budget", type=int, metavar="MIB",
+                      help="abort (replayably) past this RSS budget")
+    p_rp.add_argument("--output", metavar="PATH",
+                      help="summary JSON destination (default: stdout)")
+    p_rp.add_argument("--spill", metavar="PATH",
+                      help="spill per-request records to this JSONL file")
+    p_rp.add_argument("--stats", metavar="PATH",
+                      help="write wall-clock/RSS run stats JSON here")
+    p_rp.set_defaults(func=cmd_replay)
 
     p_rep = sub.add_parser("report", help="run with metrics and render "
                                           "the observability report")

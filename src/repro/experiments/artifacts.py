@@ -56,6 +56,17 @@ def atomic_write_text(path: str, text: str) -> None:
     os.replace(tmp, path)
 
 
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Binary twin of :func:`atomic_write_text` (checkpoint payloads)."""
+    directory = os.path.dirname(path) or "."
+    tmp = os.path.join(directory, f".{os.path.basename(path)}.tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
 def _canonical_json(obj: Any) -> str:
     return json.dumps(obj, sort_keys=True, separators=(",", ":"))
 

@@ -33,6 +33,7 @@ from repro.experiments import (
     fig15_ol_percentiles,
     fig16_ctx,
     headline,
+    replay_stream,
     sensitivity,
     table1_bins,
     table2_overhead,
@@ -107,5 +108,6 @@ REGISTRY: Dict[str, Entry] = {
               ext_billing),
         Entry("chaos", "scheduling under failure: crashes, stragglers, "
               "overload shedding", chaos),
+        Entry("replay", "streaming long-horizon replay grid", replay_stream),
     )
 }

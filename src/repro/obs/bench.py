@@ -194,6 +194,49 @@ def _pool_workers4(quick: bool):
     return _pool_scenario(4, quick)
 
 
+def _replay_stream_config(quick: bool):
+    from repro.workload.stream import StreamConfig
+
+    return StreamConfig(n_requests=800 if quick else 2000, n_cores=8,
+                        target_load=0.9)
+
+
+@_scenario("replay_stream", "streaming replay driver under SFS (repro.stream)")
+def _replay_stream(quick: bool):
+    from repro.machine.base import MachineParams
+    from repro.stream import ReplayConfig, StreamReplayDriver
+    from repro.workload.stream import RequestStream
+
+    scfg = _replay_stream_config(quick)
+    rcfg = ReplayConfig(scheduler="sfs", machine=MachineParams(n_cores=8),
+                        checkpoint_every=None)
+
+    def run() -> int:
+        doc = StreamReplayDriver(RequestStream(scfg, seed=7), rcfg).run()
+        return doc["events_executed"]
+
+    return run
+
+
+# same workload as replay_stream, executed through the materialized
+# path — the rss_kb gap between this pair is the streaming win
+@_scenario("replay_materialized", "identical workload, materialized runner")
+def _replay_materialized(quick: bool):
+    from repro.experiments.runner import RunConfig, run_workload
+    from repro.machine.base import MachineParams
+    from repro.workload.stream import RequestStream
+
+    wl = RequestStream(_replay_stream_config(quick), seed=7).materialize()
+    cfg = RunConfig(scheduler="sfs", engine="fluid",
+                    machine=MachineParams(n_cores=8), invariants=False)
+
+    def run() -> int:
+        res = run_workload(wl, cfg)
+        return res.manifest.events_executed if res.manifest else 0
+
+    return run
+
+
 @_scenario("cluster", "4-host cluster, least-loaded placement")
 def _cluster(quick: bool):
     from repro.faas.cluster import ClusterConfig, run_cluster
@@ -216,6 +259,16 @@ def _cluster(quick: bool):
 # ----------------------------------------------------------------------
 # harness
 # ----------------------------------------------------------------------
+def _current_rss_kb() -> int:
+    """Current-RSS gauge (``/proc`` based; 0 where unsupported)."""
+    import gc
+
+    from repro.stream.watchdog import rss_kb
+
+    gc.collect()  # drop the scenario's garbage before gauging
+    return rss_kb()
+
+
 def _peak_rss_kb() -> int:
     try:
         import resource
@@ -255,6 +308,11 @@ def run_scenarios(names: Optional[List[str]] = None, quick: bool = False,
             "events": events,
             "events_per_sec": round(events / best, 1) if best > 0 else 0.0,
             "peak_rss_kb": _peak_rss_kb(),
+            # current (not high-water) RSS after the scenario's objects
+            # are dropped: unlike peak_rss_kb this CAN go down, so it is
+            # the field that exposes retained-memory differences (e.g.
+            # replay_stream vs replay_materialized)
+            "rss_kb": _current_rss_kb(),
         }
         if progress is not None:
             s = scenarios[name]

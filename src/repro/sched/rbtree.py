@@ -49,6 +49,16 @@ class _Nil(_Node):
         self.right = self
         self.parent = self
 
+    def __reduce__(self):
+        # Every tree algorithm tests membership by identity (`is NIL`),
+        # so serializing a tree (checkpoint/resume) must map the
+        # sentinel back to this module's singleton, never to a copy.
+        return (_nil, ())
+
+
+def _nil() -> "_Node":
+    return NIL
+
 
 NIL: _Node = _Nil()
 

@@ -1,0 +1,230 @@
+"""Streaming result aggregation: constant memory per request.
+
+The materialized path retains one :class:`repro.metrics.collector.
+RequestRecord` per request; over a 10M-request horizon that is gigabytes
+of Python objects serving no purpose until the final percentile pass.
+This module computes the same headline numbers online:
+
+* DDSketch quantile sketches (:class:`repro.obs.instruments.
+  QuantileSketch`) for turnaround, end-to-end latency, wait time and
+  RTE — O(log range) buckets, any quantile within the sketch's
+  relative-accuracy bound;
+* exact counters and totals (requests, SFS outcomes, context switches,
+  CPU/IO demand and service);
+* a bounded ring buffer of the most recent records for debugging;
+* optional spill-to-JSONL when full per-request records are wanted —
+  append-only, with a byte offset the checkpointer can truncate back
+  to so a resumed run's spill file is byte-identical too.
+
+The summary document (:meth:`StreamSummary.result`) contains only
+virtual-time-deterministic fields — no wall clock, no RSS — which is
+what makes "SIGKILL + ``--resume`` yields byte-identical bytes" a
+testable property rather than a hope.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from typing import Dict, Optional
+
+from repro.obs.instruments import QuantileSketch
+from repro.sim.task import Task
+from repro.workload.spec import RequestSpec
+
+SUMMARY_SCHEMA = "repro.stream-summary/1"
+
+#: quantiles reported per sketch
+_QUANTILES = (0.50, 0.90, 0.99, 0.999)
+
+
+def _sketch_summary(sketch: QuantileSketch) -> Dict[str, float]:
+    if sketch.count == 0:
+        return {"count": 0}
+    out: Dict[str, float] = {"count": sketch.count}
+    for q in _QUANTILES:
+        key = f"p{str(q * 100).rstrip('0').rstrip('.').replace('.', '_')}"
+        out[key] = round(sketch.quantile(q), 3)
+    return out
+
+
+class StreamSummary:
+    """Online aggregator fed one ``(spec, finished task)`` at a time."""
+
+    def __init__(self, recent: int = 256, spill_path: Optional[str] = None,
+                 gamma: float = 0.01):
+        self.turnaround = QuantileSketch(gamma)
+        self.end_to_end = QuantileSketch(gamma)
+        self.wait = QuantileSketch(gamma)
+        self.rte = QuantileSketch(gamma)
+        self.requests = 0
+        self.ok = 0
+        self.killed = 0
+        self.bypassed = 0
+        self.demoted = 0
+        self.ctx_voluntary = 0
+        self.ctx_involuntary = 0
+        self.migrations = 0
+        self.cpu_demand_us = 0
+        self.io_demand_us = 0
+        self.cpu_time_us = 0
+        self.max_inflight = 0
+        self.recent = deque(maxlen=max(1, recent))
+        # spill: the handle is process state, never pickled; offset and
+        # count are, so a resume can truncate back to the checkpoint
+        self.spill_path = spill_path
+        self.spill_offset = 0
+        self.spill_records = 0
+        self._spill_fh = None
+
+    # ------------------------------------------------------------------
+    def observe(self, spec: RequestSpec, task: Task,
+                inflight: int = 0) -> None:
+        """Fold one finished request into the aggregates and drop it."""
+        if not task.finished:
+            raise RuntimeError(f"request {spec.req_id} never finished")
+        turnaround = task.finish_time - task.dispatch_time
+        end_to_end = task.finish_time - spec.arrival
+        rte = task.cpu_demand / max(1, turnaround)
+        self.requests += 1
+        if task.killed:
+            self.killed += 1
+        else:
+            self.ok += 1
+        self.turnaround.add(turnaround)
+        self.end_to_end.add(end_to_end)
+        self.wait.add(task.wait_time)
+        self.rte.add(rte)
+        self.bypassed += int(task.sfs_bypassed)
+        self.demoted += int(task.sfs_demoted)
+        self.ctx_voluntary += task.ctx_voluntary
+        self.ctx_involuntary += task.ctx_involuntary
+        self.migrations += task.migrations
+        self.cpu_demand_us += task.cpu_demand
+        self.io_demand_us += task.io_demand
+        self.cpu_time_us += task.cpu_time
+        if inflight > self.max_inflight:
+            self.max_inflight = inflight
+        row = {
+            "req_id": spec.req_id,
+            "name": spec.name,
+            "app": spec.app,
+            "arrival": spec.arrival,
+            "dispatch": task.dispatch_time,
+            "finish": task.finish_time,
+            "cpu_demand": task.cpu_demand,
+            "io_demand": task.io_demand,
+            "cpu_time": task.cpu_time,
+            "wait_time": task.wait_time,
+            "ctx_involuntary": task.ctx_involuntary,
+            "ctx_voluntary": task.ctx_voluntary,
+            "migrations": task.migrations,
+            "bypassed": task.sfs_bypassed,
+            "demoted": task.sfs_demoted,
+            "status": "killed" if task.killed else "ok",
+        }
+        self.recent.append(row)
+        if self.spill_path is not None:
+            self._spill(row)
+
+    # ------------------------------------------------------------------
+    # spill-to-JSONL
+    # ------------------------------------------------------------------
+    def _spill(self, row: Dict[str, object]) -> None:
+        if self._spill_fh is None:
+            self._open_spill()
+        line = json.dumps(row, sort_keys=True, separators=(",", ":")) + "\n"
+        self._spill_fh.write(line)
+        self.spill_offset += len(line.encode())
+        self.spill_records += 1
+
+    def _open_spill(self) -> None:
+        """(Re)open the spill file at the recorded offset.
+
+        On a resume, rows spilled after the checkpoint but before the
+        kill are beyond ``spill_offset``; truncating back makes the
+        resumed spill byte-identical to an uninterrupted run's.
+        """
+        exists = os.path.exists(self.spill_path)
+        if self.spill_offset > 0 and not exists:
+            raise FileNotFoundError(
+                f"spill file {self.spill_path} is missing but the "
+                f"checkpoint recorded {self.spill_records} spilled rows")
+        fh = open(self.spill_path, "r+" if exists else "w")
+        fh.truncate(self.spill_offset)
+        fh.seek(self.spill_offset)
+        self._spill_fh = fh
+
+    def close(self) -> None:
+        if self._spill_fh is not None:
+            self._spill_fh.flush()
+            self._spill_fh.close()
+            self._spill_fh = None
+
+    # ------------------------------------------------------------------
+    def tighten(self) -> None:
+        """Watchdog hook: halve the recent-record ring.
+
+        Only diagnostics shrink; every field of :meth:`result` is
+        unaffected, preserving byte-identical summaries.
+        """
+        new_len = max(16, (self.recent.maxlen or 16) // 2)
+        self.recent = deque(self.recent, maxlen=new_len)
+
+    # ------------------------------------------------------------------
+    def result(self, sim_time: int, busy_time: int, n_cores: int,
+               events_executed: int, scheduler: str, engine: str,
+               meta: Optional[Dict[str, object]] = None,
+               ) -> Dict[str, object]:
+        """The deterministic summary document (no wall clock, no RSS)."""
+        util = busy_time / (sim_time * n_cores) if sim_time > 0 else 0.0
+        doc: Dict[str, object] = {
+            "schema": SUMMARY_SCHEMA,
+            "scheduler": scheduler,
+            "engine": engine,
+            "n_cores": n_cores,
+            "requests": self.requests,
+            "ok": self.ok,
+            "killed": self.killed,
+            "sim_time_us": sim_time,
+            "busy_time_us": busy_time,
+            "events_executed": events_executed,
+            "utilization": round(util, 6),
+            "turnaround_us": _sketch_summary(self.turnaround),
+            "end_to_end_us": _sketch_summary(self.end_to_end),
+            "wait_us": _sketch_summary(self.wait),
+            "rte": _sketch_summary(self.rte),
+            "sfs_bypassed": self.bypassed,
+            "sfs_demoted": self.demoted,
+            "ctx_voluntary": self.ctx_voluntary,
+            "ctx_involuntary": self.ctx_involuntary,
+            "migrations": self.migrations,
+            "cpu_demand_us": self.cpu_demand_us,
+            "io_demand_us": self.io_demand_us,
+            "cpu_time_us": self.cpu_time_us,
+            "max_inflight": self.max_inflight,
+            "spill_records": self.spill_records,
+        }
+        if meta:
+            doc["meta"] = dict(sorted(meta.items()))
+        return doc
+
+    @staticmethod
+    def to_json(doc: Dict[str, object]) -> str:
+        """Canonical bytes: the sha256-comparable artifact."""
+        return json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n"
+
+    # ------------------------------------------------------------------
+    # pickling: drop the file handle, keep offsets
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        if state["_spill_fh"] is not None:
+            state["_spill_fh"].flush()
+        state["_spill_fh"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._spill_fh = None

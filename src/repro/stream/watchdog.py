@@ -1,0 +1,129 @@
+"""Memory-budget watchdog for long-horizon replays.
+
+OOM kills are the boring way multi-day replays die.  The watchdog
+samples the process RSS at every checkpoint tick (piggybacking on the
+virtual-time cadence keeps the nominal path untouched) and degrades
+gracefully instead of letting the kernel pick a victim:
+
+1. **soft threshold** (a fraction of the budget): tighten the bounded
+   buffers — halve the aggregator's recent-record ring, trim the SFS
+   sample deques — and ``gc.collect()``;
+2. **hard threshold** (the budget itself): force a final checkpoint so
+   no virtual time is lost, then raise :class:`MemoryBudgetExceeded`
+   carrying a replayable report (checkpoint path, virtual time,
+   requests done) instead of OOMing.
+
+Everything the watchdog mutates is cosmetic with respect to the final
+summary — ring buffers and diagnostic sample lists, never simulation
+state — so a run that brushed the soft threshold still produces bytes
+identical to one that never did.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import sys
+from typing import Dict, Optional
+
+
+def rss_kb() -> int:
+    """Current resident set size in KiB (0 where unsupported).
+
+    Prefers ``/proc/self/statm`` (current RSS, goes *down* after
+    frees) and falls back to ``ru_maxrss`` (a high-water mark) on
+    hosts without procfs.
+    """
+    try:
+        with open("/proc/self/statm") as fh:
+            pages = int(fh.read().split()[1])
+        return pages * (os.sysconf("SC_PAGE_SIZE") // 1024)
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX host
+        return 0
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return rss // 1024 if sys.platform == "darwin" else rss
+
+
+class MemoryBudgetExceeded(RuntimeError):
+    """The replay hit its memory budget; ``report`` says how to resume."""
+
+    def __init__(self, message: str, report: Dict[str, object]):
+        super().__init__(message)
+        self.report = report
+
+
+class MemoryWatchdog:
+    """RSS gauge with soft-degrade / hard-abort thresholds.
+
+    Plain-integer state only, so it checkpoints with the driver; the
+    observed peak survives a resume (useful for the final report even
+    though the resumed process starts with a fresh RSS).
+    """
+
+    def __init__(self, budget_kb: int, soft_fraction: float = 0.8):
+        if budget_kb <= 0:
+            raise ValueError("budget_kb must be positive")
+        if not (0.0 < soft_fraction <= 1.0):
+            raise ValueError("soft_fraction must be in (0, 1]")
+        self.budget_kb = budget_kb
+        self.soft_fraction = soft_fraction
+        self.peak_kb = 0
+        self.samples = 0
+        self.soft_trips = 0
+
+    @property
+    def soft_kb(self) -> int:
+        return int(self.budget_kb * self.soft_fraction)
+
+    def sample(self) -> int:
+        """Record one RSS sample; returns it (KiB)."""
+        rss = rss_kb()
+        self.samples += 1
+        if rss > self.peak_kb:
+            self.peak_kb = rss
+        return rss
+
+    def check(self, driver) -> None:
+        """Sample RSS and react; called from the checkpoint tick.
+
+        ``driver`` is the :class:`repro.stream.driver.StreamReplayDriver`
+        owning this watchdog.
+        """
+        rss = self.sample()
+        if rss < self.soft_kb:
+            return
+        if rss < self.budget_kb:
+            self.soft_trips += 1
+            driver.tighten_buffers()
+            gc.collect()
+            return
+        # hard budget: persist everything we have, then abort replayably
+        checkpoint_path: Optional[str] = None
+        if driver.checkpointer is not None:
+            driver.checkpointer.save(driver)
+            checkpoint_path = driver.checkpointer.checkpoint_path
+        report = {
+            "error": "memory budget exceeded",
+            "rss_kb": rss,
+            "peak_rss_kb": self.peak_kb,
+            "budget_kb": self.budget_kb,
+            "soft_trips": self.soft_trips,
+            "virtual_time_us": driver.sim.now,
+            "requests_done": driver.done,
+            "requests_admitted": driver.admitted,
+            "checkpoint": checkpoint_path,
+            "resume_hint": (
+                "rerun the same `repro replay` command with --resume"
+                if checkpoint_path else
+                "rerun with --checkpoint-dir to make this abort resumable"
+            ),
+        }
+        raise MemoryBudgetExceeded(
+            f"RSS {rss} KiB exceeded the {self.budget_kb} KiB budget "
+            f"at t={driver.sim.now}us ({driver.done} requests done)",
+            report,
+        )

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import csv
 import json
-from typing import List
+from typing import Dict, Iterator, List, Optional
 
 from repro.sim.task import Burst, BurstKind
 from repro.workload.spec import RequestSpec, Workload
@@ -67,57 +67,84 @@ def save_workload(workload: Workload, path: str) -> None:
 _COLUMNS = ("req_id", "arrival_us", "name", "app", "bursts")
 
 
-def load_workload(path: str) -> Workload:
-    """Read a workload written by :func:`save_workload`.
+def _data_lines(fh, path: str, meta: Dict[str, object]) -> Iterator[str]:
+    """Filter ``#`` header comments out of the line stream, folding
+    ``# meta:`` headers into ``meta`` as they are encountered."""
+    for line in fh:
+        if not line.startswith("#"):
+            yield line
+            continue
+        if line.startswith("# meta: "):
+            try:
+                parsed = json.loads(line[len("# meta: "):])
+            except ValueError as exc:
+                raise ValueError(
+                    f"{path}: malformed '# meta:' header: {exc}"
+                ) from None
+            if not isinstance(parsed, dict):
+                raise ValueError(
+                    f"{path}: '# meta:' header must be a JSON object, "
+                    f"got {type(parsed).__name__}"
+                )
+            meta.clear()
+            meta.update(parsed)
 
-    Malformed input fails with the offending row number and field, not
-    a downstream KeyError/ValueError deep inside a run.
+
+def iter_workload(path: str,
+                  meta: Optional[Dict[str, object]] = None,
+                  ) -> Iterator[RequestSpec]:
+    """Yield a saved workload's requests lazily, one row at a time.
+
+    The streaming counterpart of :func:`load_workload`: one CSV row is
+    in memory at a time, so a multi-gigabyte trace replays in constant
+    space.  Pass a dict as ``meta`` to receive the ``# meta:`` header
+    contents (filled in by the time the iterator is exhausted).
+
+    Malformed input fails with the offending row number and field —
+    the identical message :func:`load_workload` raises — but note the
+    per-file checks that need the whole row set (at least one request,
+    no duplicate req_ids) live in :func:`load_workload` only: a
+    streaming consumer sees rows before later rows are validated.
     """
-    meta = {}
-    rows = []
+    sink: Dict[str, object] = meta if meta is not None else {}
     with open(path, newline="") as fh:
-        lines = fh.readlines()
-    data_lines = []
-    for line in lines:
-        if line.startswith("#"):
-            if line.startswith("# meta: "):
-                try:
-                    meta = json.loads(line[len("# meta: "):])
-                except ValueError as exc:
-                    raise ValueError(
-                        f"{path}: malformed '# meta:' header: {exc}"
-                    ) from None
-                if not isinstance(meta, dict):
-                    raise ValueError(
-                        f"{path}: '# meta:' header must be a JSON object, "
-                        f"got {type(meta).__name__}"
-                    )
-        else:
-            data_lines.append(line)
-    reader = csv.DictReader(data_lines)
-    if reader.fieldnames is not None:
-        missing = [c for c in _COLUMNS if c not in reader.fieldnames]
-        unknown = [c for c in reader.fieldnames if c not in _COLUMNS]
-        if missing or unknown:
-            raise ValueError(
-                f"{path}: bad header: missing columns {missing}, "
-                f"unknown columns {unknown} (expected {list(_COLUMNS)})"
-            )
-    for lineno, row in enumerate(reader, start=2):
-        try:
-            rows.append(
-                RequestSpec(
+        reader = csv.DictReader(_data_lines(fh, path, sink))
+        if reader.fieldnames is not None:
+            missing = [c for c in _COLUMNS if c not in reader.fieldnames]
+            unknown = [c for c in reader.fieldnames if c not in _COLUMNS]
+            if missing or unknown:
+                raise ValueError(
+                    f"{path}: bad header: missing columns {missing}, "
+                    f"unknown columns {unknown} (expected {list(_COLUMNS)})"
+                )
+        for lineno, row in enumerate(reader, start=2):
+            try:
+                yield RequestSpec(
                     req_id=int(row["req_id"]),
                     arrival=int(row["arrival_us"]),
                     bursts=unpack_bursts(row["bursts"]),
                     name=row["name"],
                     app=row["app"],
                 )
-            )
-        except (TypeError, ValueError) as exc:
-            raise ValueError(f"{path}: data row {lineno}: {exc}") from None
+            except (TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"{path}: data row {lineno}: {exc}") from None
+
+
+def load_workload(path: str) -> Workload:
+    """Read a workload written by :func:`save_workload`.
+
+    Malformed input fails with the offending row number and field, not
+    a downstream KeyError/ValueError deep inside a run.  Parsing
+    streams through :func:`iter_workload`; only the materialized
+    request list is held here.
+    """
+    meta: Dict[str, object] = {}
+    rows = list(iter_workload(path, meta))
     if not rows:
         raise ValueError(f"no requests found in {path}")
+    # whole-file validation stays after the parse loop: a malformed row
+    # anywhere outranks a duplicate id earlier in the file
     seen = set()
     for spec in rows:
         if spec.req_id in seen:

@@ -60,7 +60,7 @@ def test_registry_covers_every_paper_artifact():
         "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
         "table1", "table2", "headline", "sensitivity", "ablations",
         "ext-slo", "ext-coldstart", "ext-eevdf", "ext-predictive",
-        "ext-cluster", "ext-billing", "chaos",
+        "ext-cluster", "ext-billing", "chaos", "replay",
     }
     assert set(REGISTRY) == expected
 

@@ -1,11 +1,19 @@
 """Workload save/load round-tripping."""
 
+import itertools
+
 import numpy as np
 import pytest
 
 from conftest import quick_run, small_workload
 from repro.sim.task import Burst, BurstKind
-from repro.workload.io import load_workload, pack_bursts, save_workload, unpack_bursts
+from repro.workload.io import (
+    iter_workload,
+    load_workload,
+    pack_bursts,
+    save_workload,
+    unpack_bursts,
+)
 
 
 def test_pack_unpack_roundtrip():
@@ -52,4 +60,75 @@ def test_load_empty_rejected(tmp_path):
     path = tmp_path / "empty.csv"
     path.write_text("# repro-workload v1\nreq_id,arrival_us,name,app,bursts\n")
     with pytest.raises(ValueError):
+        load_workload(str(path))
+
+
+# ----------------------------------------------------------------------
+# streaming parse (iter_workload) — same rows, same errors
+# ----------------------------------------------------------------------
+def test_iter_matches_load(tmp_path):
+    wl = small_workload(n_requests=120, load=0.8, io_fraction=0.3)
+    path = str(tmp_path / "wl.csv")
+    save_workload(wl, path)
+    meta = {}
+    specs = list(iter_workload(path, meta))
+    loaded = load_workload(path)
+    assert specs == loaded.requests
+    assert meta == loaded.meta
+
+
+def test_iter_is_lazy(tmp_path):
+    wl = small_workload(n_requests=120, load=0.8)
+    path = str(tmp_path / "wl.csv")
+    save_workload(wl, path)
+    first_ten = list(itertools.islice(iter_workload(path), 10))
+    assert [r.req_id for r in first_ten] == [r.req_id for r in wl][:10]
+
+
+def test_iter_fills_meta_by_exhaustion(tmp_path):
+    wl = small_workload(n_requests=30, load=0.8)
+    path = str(tmp_path / "wl.csv")
+    save_workload(wl, path)
+    meta = {}
+    for _ in iter_workload(path, meta):
+        pass
+    assert meta.get("generator") == "FaaSBench"
+
+
+@pytest.mark.parametrize("loader", [load_workload,
+                                    lambda p: list(iter_workload(p))])
+def test_streaming_errors_match_materialized(tmp_path, loader):
+    """Both parse paths raise the identical messages (pinned strings)."""
+    header = "req_id,arrival_us,name,app,bursts\n"
+
+    bad_meta = tmp_path / "m.csv"
+    bad_meta.write_text("# meta: {not json\n" + header + "0,5,f,fib,cpu:10\n")
+    with pytest.raises(ValueError, match="malformed '# meta:' header"):
+        loader(str(bad_meta))
+
+    meta_list = tmp_path / "ml.csv"
+    meta_list.write_text('# meta: [1,2]\n' + header + "0,5,f,fib,cpu:10\n")
+    with pytest.raises(ValueError, match="must be a JSON object"):
+        loader(str(meta_list))
+
+    bad_header = tmp_path / "h.csv"
+    bad_header.write_text("req_id,arrival_us,name,app,sizes\n0,5,f,fib,9\n")
+    with pytest.raises(ValueError, match=r"bad header: missing columns "
+                                         r"\['bursts'\]"):
+        loader(str(bad_header))
+
+    bad_row = tmp_path / "r.csv"
+    bad_row.write_text(header + "0,5,f,fib,cpu:10\n1,x,g,fib,cpu:10\n")
+    with pytest.raises(ValueError, match="data row 3"):
+        loader(str(bad_row))
+
+
+def test_duplicate_ids_only_rejected_by_load(tmp_path):
+    """Whole-file validation (dups, emptiness) is load_workload's job;
+    the streaming iterator yields what it parses."""
+    path = tmp_path / "dup.csv"
+    path.write_text("req_id,arrival_us,name,app,bursts\n"
+                    "0,5,f,fib,cpu:10\n0,9,g,fib,cpu:10\n")
+    assert len(list(iter_workload(str(path)))) == 2
+    with pytest.raises(ValueError, match="duplicated req_id 0"):
         load_workload(str(path))
