@@ -461,6 +461,146 @@ def cmd_explore(args) -> int:
     return 0
 
 
+def _why_rows(req: dict) -> List[tuple]:
+    """Segment table rows from one stored why-document request entry."""
+    rows = []
+    for seg in req.get("segments", ()):
+        rows.append((
+            seg["t0"], seg["dur"], seg["kind"], seg.get("reason", ""),
+            seg.get("core", ""), seg.get("actor", ""),
+        ))
+    return rows
+
+
+def cmd_why(args) -> int:
+    """Per-request critical-path attribution (repro.why)."""
+    from repro.why import (AuditLog, build_timelines, build_why_doc,
+                           render_flamegraph, why_json)
+
+    if args.output:
+        _check_parent(args.output, "why report")
+    if args.flame:
+        _check_parent(args.flame, "flamegraph")
+
+    if args.bundle:
+        from repro.explore import RunBundle
+
+        try:
+            bundle = RunBundle.load(args.bundle)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        doc = bundle.why
+        if doc is None:
+            print("error: bundle predates repro.why (no embedded why "
+                  "section); re-capture the run or use the fresh-run "
+                  "form (repro why --scheduler ...)", file=sys.stderr)
+            return 2
+        label = bundle.label
+    else:
+        if args.scheduler in ("srtf", "ideal"):
+            # the oracle machines emit no task.* trace events, so there
+            # is nothing to reconstruct a timeline from
+            print("error: scheduler must be one of cfs/fifo/rr/sfs for "
+                  "why (srtf/ideal emit no task trace)", file=sys.stderr)
+            return 2
+        from repro.trace import TraceRecorder
+
+        machine = MachineParams(n_cores=args.cores,
+                                ctx_switch_cost=args.ctx_cost)
+        cfg = RunConfig(scheduler=args.scheduler, engine=args.engine,
+                        machine=machine,
+                        invariants=getattr(args, "invariants", None),
+                        **_fault_config(args))
+        recorder = TraceRecorder(gauge_interval=args.gauge_interval)
+        audit = AuditLog()
+        res = run_workload(_workload(args), cfg, trace=recorder,
+                           audit=audit)
+        timelines = build_timelines(res.records, recorder, audit=audit)
+        # embed every request when a specific one is asked for, so the
+        # drill-down never misses; aggregates are identical either way
+        top = 0 if args.request is not None else args.top_blamed
+        doc = build_why_doc(timelines, top_blamed=top)
+        label = f"{args.scheduler}/{args.engine}"
+
+    totals = doc["totals"]
+    inexact = [rid for rid, r in doc["requests"].items()
+               if not r.get("exact", True)]
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(why_json(doc))
+        print(f"wrote {args.output} ({doc['schema']})")
+    if args.flame:
+        with open(args.flame, "w") as fh:
+            fh.write(render_flamegraph(doc["flame"],
+                                       title=f"blame — {label}"))
+        print(f"wrote {args.flame}")
+
+    if args.request is not None:
+        req = doc["requests"].get(str(args.request))
+        if req is None:
+            print(f"error: request {args.request} is not in this "
+                  f"document (only the top {len(doc['requests'])} blamed "
+                  "requests are embedded); raise --top-blamed when "
+                  "capturing, or use the fresh-run form",
+                  file=sys.stderr)
+            return 2
+        print(f"request {args.request} ({req['name']}, app={req['app']}) "
+              f"— {req['status']}, {req['attempts']} attempt(s)")
+        print(f"end-to-end {req['end_to_end_us'] / 1e3:.3f} ms, blamed "
+              f"{req['blamed_us'] / 1e3:.3f} ms "
+              f"({req['blamed_us'] / max(1, req['end_to_end_us']):.1%})")
+        print(format_table(
+            ["t0 (us)", "dur (us)", "kind", "reason", "core", "actor"],
+            _why_rows(req), title="causal timeline"))
+        return 0
+
+    e2e = max(1, totals["end_to_end_us"])
+    print(f"why: {label} — {totals['requests']} requests")
+    print(f"blamed {totals['blamed_us'] / 1e6:.3f}s of "
+          f"{e2e / 1e6:.3f}s end-to-end "
+          f"({totals['blamed_us'] / e2e:.1%})")
+    kinds = " | ".join(f"{k} {v / 1e6:.3f}s"
+                       for k, v in totals["by_kind"].items())
+    print(f"by kind: {kinds or '-'}")
+    reason_rows = sorted(totals["by_reason"].items(),
+                         key=lambda kv: (-kv[1], kv[0]))
+    if reason_rows:
+        print(format_table(
+            ["kind/reason", "blamed (ms)"],
+            [(k, f"{v / 1e3:.3f}") for k, v in reason_rows],
+            title="blame by deschedule reason"))
+    actor_rows = sorted(totals["by_actor"].items(),
+                        key=lambda kv: (-kv[1], kv[0]))
+    if actor_rows:
+        print(format_table(
+            ["decision-maker", "blamed (ms)"],
+            [(k, f"{v / 1e3:.3f}") for k, v in actor_rows],
+            title="blame by audited decision-maker"))
+    top_rows = []
+    for rid in doc["top_blamed"][:args.top_blamed]:
+        r = doc["requests"].get(str(rid))
+        if r is None:
+            continue
+        top_rows.append((
+            rid, r["name"], r["app"], r["status"],
+            f"{r['blamed_us'] / 1e3:.3f}",
+            f"{r['end_to_end_us'] / 1e3:.3f}",
+            f"{r['blamed_us'] / max(1, r['end_to_end_us']):.0%}",
+        ))
+    if top_rows:
+        print(format_table(
+            ["req", "name", "app", "status", "blamed (ms)", "e2e (ms)",
+             "share"],
+            top_rows, title=f"top {len(top_rows)} blamed requests "
+                            "(drill down with --request ID)"))
+    if inexact:
+        print(f"warning: {len(inexact)} request(s) failed the exact-sum "
+              f"invariant: {inexact[:5]}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_bench(args) -> int:
     """Headless perf snapshot + regression gate (repro.obs.bench)."""
     from repro.obs import bench as obench
@@ -855,6 +995,28 @@ def build_parser() -> argparse.ArgumentParser:
                       help="output HTML path (default: %(default)s)")
     p_ex.add_argument("--title", help="page title override")
     p_ex.set_defaults(func=cmd_explore)
+
+    p_why = sub.add_parser(
+        "why",
+        help="per-request critical-path attribution and deschedule-"
+             "reason flamegraphs")
+    p_why.add_argument("bundle", nargs="?", metavar="RUN",
+                       help="saved bundle.json / run directory with an "
+                            "embedded why section; omit to run a fresh "
+                            "workload (workload flags below)")
+    p_why.add_argument("--request", type=int, metavar="ID",
+                       help="drill into one request's causal timeline")
+    p_why.add_argument("--top-blamed", type=int, default=10, metavar="N",
+                       help="how many worst-blamed requests to show / "
+                            "embed (default: %(default)s)")
+    p_why.add_argument("-o", "--output", metavar="PATH",
+                       help="write the repro.why/1 JSON document")
+    p_why.add_argument("--flame", metavar="PATH",
+                       help="write the blame flamegraph as self-"
+                            "contained HTML")
+    p_why.add_argument("--scheduler", choices=SCHEDULERS, default="sfs")
+    _add_workload_args(p_why)
+    p_why.set_defaults(func=cmd_why)
 
     p_bench = sub.add_parser("bench", help="headless perf snapshot "
                                            "(events/sec per scenario)")

@@ -21,6 +21,7 @@ from repro.core.worker import SFSWorker
 from repro.machine.base import MachineBase
 from repro.sim.task import SchedPolicy, Task, TaskState
 from repro.trace import events as tev
+from repro.why import audit as aud
 
 
 @dataclass
@@ -83,6 +84,11 @@ class SFS:
         # metric registry: same caching contract (repro.obs)
         self._metrics = self.sim.metrics
         self._metrics_on = self._metrics.enabled
+        # scheduler-decision audit: same caching contract (repro.why);
+        # the FILTER's promote/demote/bypass decisions are the ones the
+        # paper's Fig 4 flow chart names
+        self._audit = self.sim.audit
+        self._audit_on = self._audit.enabled
         if self._metrics_on:
             m = self._metrics
             self._m_submitted = m.counter(
@@ -209,6 +215,10 @@ class SFS:
                                      args=(delay, self.monitor.slice))
                 if self._metrics_on:
                     self._m_bypassed.inc()
+                if self._audit_on:
+                    self._audit.record(now, aud.OP_BYPASS, "sfs-filter",
+                                       displaced=task.tid, reason="overload",
+                                       arg=delay)
                 continue
             if self.config.io_aware and state is TaskState.BLOCKED:
                 # Found sleeping (e.g. leading I/O): watch until runnable.
@@ -243,6 +253,10 @@ class SFS:
             self._m_promoted.inc()
             self._m_queue_delay.observe(now - entry.enqueue_ts)
             self._m_slice_granted.observe(slice_left)
+        if self._audit_on:
+            self._audit.record(now, aud.OP_PROMOTE,
+                               f"sfs-worker:{worker.index}",
+                               chosen=task.tid, arg=slice_left)
         self._sched_op()
         self.machine.set_policy(task, SchedPolicy.FIFO, self.config.rt_priority)
         worker.slice_handle = self.sim.schedule(
@@ -292,6 +306,10 @@ class SFS:
         if self._metrics_on:
             self._m_demote_slice.inc()
             self._m_boost_us.inc(self.sim.now - worker.assigned_at)
+        if self._audit_on:
+            self._audit.record(self.sim.now, aud.OP_DEMOTE,
+                               f"sfs-worker:{worker.index}",
+                               displaced=task.tid, reason="slice")
         self._sched_op()
         self._by_tid.pop(task.tid, None)
         worker.clear()
@@ -319,6 +337,10 @@ class SFS:
             if self._metrics_on:
                 self._m_demote_io.inc()
                 self._m_boost_us.inc(self.sim.now - worker.assigned_at)
+            if self._audit_on:
+                self._audit.record(self.sim.now, aud.OP_DEMOTE,
+                                   f"sfs-worker:{worker.index}",
+                                   displaced=task.tid, reason="io", arg=left)
             self._sched_op()
             self._by_tid.pop(task.tid, None)
             worker.clear()

@@ -12,14 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro.constants import CTX_SWITCH_COST_US as _CTX_SWITCH_COST_US
+from repro.constants import SHORT_CPU_BOUND_US  # noqa: F401  (re-export)
 from repro.machine.base import MachineParams
 from repro.metrics.stats import percentile, percentiles
 from repro.workload.faasbench import FaaSBench, FaaSBenchConfig
 from repro.workload.spec import Workload
-
-#: the paper's short/long split: Table I's contiguous sub-400 ms bins
-#: cover ~80 % of requests; everything >= the 1550 ms bin is "long".
-SHORT_CPU_BOUND_US = 400_000
 
 #: CPU time lost per context switch in the experiment machines (us):
 #: direct kernel cost (~3-5 us) plus cache/TLB refill for Docker-hosted
@@ -28,7 +26,7 @@ SHORT_CPU_BOUND_US = 400_000
 #: what makes heavily-slicing CFS shed capacity at saturation relative
 #: to run-to-completion FILTER — the mechanism behind the paper's tail
 #: crossover (Fig 15).  Ablated in ``repro.experiments.ablations``.
-CTX_SWITCH_COST = 500
+CTX_SWITCH_COST = _CTX_SWITCH_COST_US
 
 
 def azure_sampled_workload(

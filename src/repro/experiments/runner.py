@@ -108,16 +108,18 @@ def _make_machine(sim: Simulator, cfg: RunConfig):
 
 def run_workload(
     workload: Workload, cfg: RunConfig, trace: Optional[object] = None,
-    metrics: Optional[object] = None,
+    metrics: Optional[object] = None, audit: Optional[object] = None,
 ) -> RunResult:
     """Execute ``workload`` under ``cfg`` and collect per-request records.
 
     Pass a :class:`repro.trace.TraceRecorder` as ``trace`` to capture the
     structured event stream, and/or a
     :class:`repro.obs.MetricsRegistry` as ``metrics`` to aggregate
-    streaming instruments; both default to the zero-overhead nulls and
-    cost one predicted branch per instrumentation site.  Metric hooks
-    are read-only, so records are identical either way.
+    streaming instruments, and/or a :class:`repro.why.AuditLog` as
+    ``audit`` to capture scheduler decisions; all default to the
+    zero-overhead nulls and cost one predicted branch per
+    instrumentation site.  The hooks are read-only, so records are
+    identical either way.
     """
     wall_start = time.perf_counter()
     label = f"scheduler={cfg.scheduler} engine={cfg.engine}"
@@ -125,7 +127,7 @@ def run_workload(
         cfg.invariants, seed=workload.meta.get("seed"), label=label,
     )
     sim = Simulator(trace=trace, invariants=checker, metrics=metrics,
-                    label=label)
+                    label=label, audit=audit)
     tr = sim.trace
     if cfg.faults is not None:
         # a straggler entry for host 0 degrades this (single) machine
@@ -291,15 +293,20 @@ def run_bundled(
     """Execute with tracing on and also return the explorer bundle.
 
     Returns ``(RunResult, RunBundle)`` — the bundle fuses the trace,
-    the registry snapshot (when one is passed), and the run manifest,
-    ready for :func:`repro.explore.write_explorer` or ``bundle.save``.
+    the registry snapshot (when one is passed), the scheduler-decision
+    audit stream, and the run manifest, ready for
+    :func:`repro.explore.write_explorer` or ``bundle.save``.
     """
     from repro.explore import RunBundle
     from repro.trace import TraceRecorder
+    from repro.why import AuditLog
 
     recorder = TraceRecorder(gauge_interval=gauge_interval)
-    res = run_workload(workload, cfg, trace=recorder, metrics=metrics)
-    return res, RunBundle.capture(res, recorder, metrics=metrics, title=title)
+    audit = AuditLog()
+    res = run_workload(workload, cfg, trace=recorder, metrics=metrics,
+                       audit=audit)
+    return res, RunBundle.capture(res, recorder, metrics=metrics,
+                                  title=title, audit=audit)
 
 
 def run_many_bundled(

@@ -161,14 +161,20 @@ def _apply_segment_budget(lanes: List[Dict[str, object]], sim_time: int,
 
 
 def build_data(result, trace, metrics=None,
-               title: Optional[str] = None) -> Dict[str, object]:
+               title: Optional[str] = None, audit=None,
+               why_top: int = 10) -> Dict[str, object]:
     """Compact one run into the ``repro.explore/1`` document.
 
     ``result`` is a :class:`repro.metrics.collector.RunResult`,
     ``trace`` a :class:`repro.trace.TraceRecorder` captured from the
     same run, ``metrics`` an optional
     :class:`repro.obs.MetricsRegistry` whose counter snapshot rides
-    along for the accounting panel.
+    along for the accounting panel, ``audit`` an optional
+    :class:`repro.why.AuditLog` that tags the embedded ``why`` section's
+    wait segments with their decision-makers.  The ``why`` section
+    (schema ``repro.why/1``) is *optional* in stored bundles — older
+    bundles load fine without it — and byte-deterministic: it is keyed
+    by ``req_id`` only, never raw tids.
     """
     import numpy as np
 
@@ -397,6 +403,11 @@ def build_data(result, trace, metrics=None,
     provenance = {k: v for k, v in manifest.items()
                   if k not in _NONDETERMINISTIC_MANIFEST_FIELDS}
 
+    from repro.why import build_timelines, build_why_doc
+
+    why = build_why_doc(build_timelines(records, trace, audit=audit),
+                        top_blamed=why_top)
+
     return {
         "schema": SCHEMA,
         "label": label,
@@ -420,6 +431,7 @@ def build_data(result, trace, metrics=None,
         "slowest": slow_rows,
         "counters": counters,
         "provenance": provenance,
+        "why": why,
     }
 
 
@@ -441,9 +453,15 @@ class RunBundle:
     # ------------------------------------------------------------------
     @classmethod
     def capture(cls, result, trace, metrics=None,
-                title: Optional[str] = None) -> "RunBundle":
-        """Compact a finished run (result + trace [+ metrics])."""
-        return cls(build_data(result, trace, metrics=metrics, title=title))
+                title: Optional[str] = None, audit=None) -> "RunBundle":
+        """Compact a finished run (result + trace [+ metrics][+ audit])."""
+        return cls(build_data(result, trace, metrics=metrics, title=title,
+                              audit=audit))
+
+    @property
+    def why(self) -> Optional[Dict[str, object]]:
+        """The embedded ``repro.why/1`` section (None in older bundles)."""
+        return self.data.get("why")  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
     @property

@@ -202,6 +202,130 @@ def _counters_panel(doc: Dict[str, object], heading: str) -> str:
             f"{body}</table></details>")
 
 
+def _fmt_ms(us: int) -> str:
+    return f"{us / 1e3:,.3f}"
+
+
+def _why_flame_html(flame: Dict[str, object]) -> str:
+    """Server-rendered pure-CSS icicle (no script needed to read it)."""
+    from repro.why.blame import FLAME_COLORS, FLAME_DEFAULT_COLOR, flame_rows
+
+    parts = ['<div class="fg">']
+    for row in flame_rows(flame):
+        parts.append('<div class="fg-row">')
+        cursor = 0.0
+        for left, width, name, value, key in sorted(row):
+            pad = left - cursor
+            if pad > 1e-9:
+                parts.append(f'<div class="fg-frame fg-pad" '
+                             f'style="width:{pad:.4f}%">&nbsp;</div>')
+            color = FLAME_COLORS.get(key, FLAME_DEFAULT_COLOR)
+            parts.append(
+                f'<div class="fg-frame" style="width:{width:.4f}%;'
+                f'background:{color}" title="{_esc(name)}: {value}us">'
+                f"{_esc(name)} <span>{_fmt_ms(value)} ms</span></div>")
+            cursor = left + width
+        parts.append("</div>")
+    parts.append("</div>")
+    return "".join(parts)
+
+
+def _why_request_details(why: Dict[str, object]) -> str:
+    reqs = why.get("requests") or {}
+    parts: List[str] = []
+    for rid in why.get("top_blamed", []):
+        r = reqs.get(str(rid))
+        if r is None:
+            continue
+        body = "".join(
+            "<tr>"
+            f"<td>{seg['t0'] / 1e3:,.3f}</td><td>{seg['dur'] / 1e3:,.3f}</td>"
+            f"<td class=l>{_esc(seg['kind'])}</td>"
+            f"<td class=l>{_esc(seg.get('reason', ''))}</td>"
+            f"<td>{seg.get('core', '')}</td>"
+            f"<td class=l>{_esc(seg.get('actor', ''))}</td></tr>"
+            for seg in r.get("segments", ()))
+        share = r["blamed_us"] / max(1, r["end_to_end_us"])
+        parts.append(
+            f"<details><summary>req {rid} · {_esc(r['name'])} "
+            f"({_esc(r['status'])}) — blamed {_fmt_ms(r['blamed_us'])} of "
+            f"{_fmt_ms(r['end_to_end_us'])} ms ({share:.0%})</summary>"
+            f"<table><tr><th>t0 (ms)</th><th>dur (ms)</th>"
+            f"<th class=l>kind</th><th class=l>reason</th><th>core</th>"
+            f"<th class=l>decision-maker</th></tr>{body}</table>"
+            f"</details>")
+    return "".join(parts)
+
+
+def _why_section(doc: Dict[str, object], heading: str) -> str:
+    """Blame attribution panel: flamegraph + per-request drill-down."""
+    why = doc.get("why")
+    if not why:
+        return ""
+    totals = why["totals"]
+    e2e = max(1, int(totals["end_to_end_us"]))
+    blamed = int(totals["blamed_us"])
+    kinds = " · ".join(f"{k} {_fmt_ms(v)} ms"
+                       for k, v in sorted(totals["by_kind"].items(),
+                                          key=lambda kv: -kv[1]))
+    actor_rows = sorted(totals.get("by_actor", {}).items(),
+                        key=lambda kv: (-kv[1], kv[0]))
+    actors = ""
+    if actor_rows:
+        body = "".join(
+            f"<tr><td class=l>{_esc(a)}</td><td>{_fmt_ms(v)}</td></tr>"
+            for a, v in actor_rows)
+        actors = (f"<details><summary>blame by audited decision-maker"
+                  f"</summary><table><tr><th class=l>decision-maker</th>"
+                  f"<th>blamed (ms)</th></tr>{body}</table></details>")
+    return (
+        f"<section><h2>{_esc(heading)}</h2>"
+        f'<div class="panel">'
+        f'<p class="muted">blamed {blamed / 1e6:,.3f}s of '
+        f"{e2e / 1e6:,.3f}s total end-to-end ({blamed / e2e:.1%}) — "
+        f"root &rarr; kind &rarr; reason &rarr; app</p>"
+        f"{_why_flame_html(why['flame'])}"
+        f'<p class="hint">{_esc(kinds) if kinds else "no blamed time"}</p>'
+        f"{actors}{_why_request_details(why)}"
+        f"</div></section>")
+
+
+def _why_diff_table(docs: Sequence[Dict[str, object]]) -> str:
+    """Aligned per-request blame comparison (same request, both runs)."""
+    if len(docs) != 2:
+        return ""
+    why_a, why_b = docs[0].get("why"), docs[1].get("why")
+    if not why_a or not why_b:
+        return ""
+    from repro.why.blame import blame_diff
+
+    rows = blame_diff(why_a, why_b)
+    if not rows:
+        return ""
+    body_parts = []
+    for r in rows[:40]:
+        a = "—" if r["a_blamed_us"] is None else _fmt_ms(r["a_blamed_us"])
+        b = "—" if r["b_blamed_us"] is None else _fmt_ms(r["b_blamed_us"])
+        if r["delta_us"] is None:
+            delta = "—"
+        else:
+            cls = ("why-delta-up" if r["delta_us"] > 0 else
+                   "why-delta-down" if r["delta_us"] < 0 else "")
+            sign = "+" if r["delta_us"] > 0 else ""
+            delta = (f'<span class="{cls}">{sign}'
+                     f"{_fmt_ms(r['delta_us'])}</span>")
+        body_parts.append(
+            f"<tr><td>{r['req_id']}</td><td class=l>{_esc(r['name'])}</td>"
+            f"<td>{a}</td><td>{b}</td><td>{delta}</td></tr>")
+    return (
+        f"<details open><summary>same request, both runs — blame diff "
+        f"(A = {_esc(docs[0]['label'])}, B = {_esc(docs[1]['label'])})"
+        f"</summary><table><tr><th>req</th><th class=l>function</th>"
+        f"<th>A blamed (ms)</th><th>B blamed (ms)</th>"
+        f"<th>&Delta; (ms)</th></tr>{''.join(body_parts)}</table>"
+        f"</details>")
+
+
 def _provenance_panel(doc: Dict[str, object], heading: str) -> str:
     pretty = json.dumps(doc["provenance"], sort_keys=True, indent=1)
     return (f"<details><summary>{_esc(heading)}</summary>"
@@ -256,6 +380,11 @@ def _render(docs: Sequence[Dict[str, object]], title: str) -> str:
         parts.append(_timeline_section(doc, i, heading))
     charts = _queue_chart(docs) + _pct_chart(docs)
     parts.append(f'<div class="charts">{charts}</div>')
+    for i, doc in enumerate(docs):
+        heading = (f"Why {'AB'[i]} — blame attribution ({doc['label']})"
+                   if diff else "Why — blame attribution")
+        parts.append(_why_section(doc, heading))
+    parts.append(_why_diff_table(docs))
     for i, doc in enumerate(docs):
         prefix = f"{'AB'[i]} {doc['label']}: " if diff else ""
         parts.append(_slowest_table(doc, f"{prefix}slowest requests"))

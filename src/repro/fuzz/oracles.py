@@ -1,6 +1,6 @@
 """Oracles: what "wrong" means for a generated case.
 
-Three families, each with an applicability gate so a property is only
+Four families, each with an applicability gate so a property is only
 asserted on configurations where it mathematically holds:
 
 * **invariant** — replay the case with the runtime conservation-law
@@ -30,6 +30,12 @@ asserted on configurations where it mathematically holds:
   - *permute*: requests arriving at the same instant are
     interchangeable — swapping their bodies leaves the turnaround
     multiset unchanged.
+
+* **reconstruction** — replay with tracing on and require that every
+  request's causal timeline (:mod:`repro.why`) partitions its
+  ``[arrival, finish]`` window *exactly* (the ``why-exact-sum``
+  oracle).  Applies to every case: the generator only draws schedulers
+  that emit the full ``task.*`` lifecycle.
 
 Slack constants for the inexact properties are calibrated by running a
 large campaign against the healthy tree: they are as tight as the
@@ -372,6 +378,39 @@ def _check_permute(case: FuzzCase) -> Optional[Violation]:
     return None
 
 
+def _check_why_exact_sum(case: FuzzCase) -> Optional[Violation]:
+    """Replay with tracing on; every request's causal timeline must
+    partition ``[arrival, finish]`` exactly (repro.why).
+
+    Applies to *every* generated case: the generator only draws from
+    cfs/fifo/rr/sfs on the two engines, all of which emit the full
+    ``task.*`` lifecycle.  A gap, an overlap, or a sum mismatch means
+    either an engine dropped/duplicated a lifecycle event or the
+    reconstruction mislabelled one — both bugs.
+    """
+    from repro.trace import TraceRecorder
+    from repro.why import build_timelines
+
+    name = "why-exact-sum"
+    trace = TraceRecorder()
+    cfg = replace(case.config, invariants=False)
+    try:
+        result = run_workload(case.workload, cfg, trace=trace)
+    except (SimulationError, RuntimeError) as exc:
+        return _crash_violation(name, exc)
+    timelines = build_timelines(result.records, trace)
+    for tl in timelines.values():
+        if not tl.exact:
+            return Violation(
+                name,
+                f"request {tl.req_id} ({tl.status}, {tl.attempts} "
+                f"attempts): segments sum to {tl.total}us but end-to-end "
+                f"is {tl.end_to_end}us — the timeline must partition "
+                f"[arrival, finish] exactly",
+            )
+    return None
+
+
 # ----------------------------------------------------------------------
 # registry
 # ----------------------------------------------------------------------
@@ -383,6 +422,7 @@ ORACLES: Tuple[Oracle, ...] = (
     Oracle("metamorphic-scaling", _scaling_applies, _check_scaling),
     Oracle("metamorphic-drop-fault", _drop_fault_applies, _check_drop_fault),
     Oracle("metamorphic-permute", _permute_applies, _check_permute),
+    Oracle("why-exact-sum", lambda case: True, _check_why_exact_sum),
 )
 
 ORACLE_BY_NAME: Dict[str, Oracle] = {o.name: o for o in ORACLES}

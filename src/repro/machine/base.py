@@ -97,6 +97,11 @@ class MachineBase:
         # metric registry: same caching contract again (repro.obs)
         self._metrics = sim.metrics
         self._metrics_on = self._metrics.enabled
+        # scheduler-decision audit stream: same caching contract
+        # (repro.why.audit); engines name themselves as the actor on
+        # machine-level decisions (preempt/slice/quantum/throttle/kill)
+        self._audit = sim.audit
+        self._audit_on = self._audit.enabled
         if self._metrics_on:
             self._m_spawned = self._metrics.counter(
                 "repro_tasks_spawned_total", help="processes dispatched")

@@ -24,6 +24,7 @@ from repro.sched.rt import RTRunqueue
 from repro.sim.engine import EventHandle, Simulator
 from repro.sim.task import Burst, BurstKind, SchedPolicy, Task, TaskState
 from repro.trace import events as tev
+from repro.why import audit as aud
 
 
 class _Core:
@@ -100,6 +101,12 @@ class DiscreteMachine(MachineBase):
                 "repro_migrations_total", help="cross-core task resumes")
             self._m_steals = self._metrics.counter(
                 "repro_steals_total", help="idle-balance pulls")
+        if self._audit_on:
+            fc = self.params.fair_class
+            for core in self.cores:
+                core.rq.audit = aud.RunqueueAudit(
+                    self._audit, sim, f"{fc}:{core.index}")
+            self.rt_rq.audit = aud.RunqueueAudit(self._audit, sim, "rt")
         prof = self._metrics.profiler
         if prof is not None:
             # shadow the bound method so the nominal path stays untouched
@@ -186,6 +193,10 @@ class DiscreteMachine(MachineBase):
     def kill(self, task: Task, reason: str = "crash") -> bool:
         if task.state is TaskState.FINISHED:
             return False
+        if self._audit_on:
+            self._audit.record(self.sim.now, aud.OP_KILL, "faults",
+                               displaced=task.tid, reason=reason,
+                               arg=task.state.value)
         if task.state is TaskState.RUNNING:
             core = self.cores[task._run_core]  # type: ignore[attr-defined]
             assert core.task is task
@@ -264,6 +275,12 @@ class DiscreteMachine(MachineBase):
                                  (tev.DESCHED_PREEMPT,))
             if self._metrics_on:
                 self._m_preemptions.inc()
+            if self._audit_on:
+                self._audit.record(
+                    self.sim.now, aud.OP_PREEMPT,
+                    f"{self.params.fair_class}:{core.index}",
+                    chosen=task.tid, displaced=victim.tid,
+                    reason=tev.DESCHED_PREEMPT)
             self._make_ready(victim)
             core.task = None
             victim._rq_core = core.index  # type: ignore[attr-defined]
@@ -327,6 +344,12 @@ class DiscreteMachine(MachineBase):
                                      (tev.DESCHED_PREEMPT,))
                 if self._metrics_on:
                     self._m_preemptions.inc()
+                if self._audit_on:
+                    self._audit.record(
+                        self.sim.now, aud.OP_PREEMPT, "rt",
+                        chosen=task.tid, displaced=victim.tid,
+                        reason=tev.DESCHED_PREEMPT,
+                        arg=task.rt_priority)
                 self._make_ready(victim)
                 core.task = None
             # Start the RT task *before* re-enqueuing the victim:
@@ -498,6 +521,12 @@ class DiscreteMachine(MachineBase):
                                  task.tid, core.index, (tev.DESCHED_SLICE,))
             if self._metrics_on:
                 self._m_slice_expiries.inc()
+            if self._audit_on:
+                self._audit.record(
+                    self.sim.now, aud.OP_SLICE,
+                    f"{self.params.fair_class}:{core.index}",
+                    displaced=task.tid, reason=tev.DESCHED_SLICE,
+                    arg=len(core.rq))
             self._make_ready(task)
             core.task = None
             task._rq_core = core.index  # type: ignore[attr-defined]
@@ -525,6 +554,11 @@ class DiscreteMachine(MachineBase):
             if self._trace_on:
                 self._trace.emit(self.sim.now, tev.TASK_DESCHEDULE,
                                  task.tid, core.index, (tev.DESCHED_QUANTUM,))
+            if self._audit_on:
+                self._audit.record(
+                    self.sim.now, aud.OP_QUANTUM, "rt",
+                    displaced=task.tid, reason=tev.DESCHED_QUANTUM,
+                    arg=waiting)
             self._make_ready(task)
             core.task = None
             self.rt_rq.enqueue(task)
@@ -608,6 +642,10 @@ class DiscreteMachine(MachineBase):
         if self._trace_on:
             self._trace.emit(self.sim.now, tev.TASK_DESCHEDULE, task.tid,
                              core.index, (tev.DESCHED_THROTTLE,))
+        if self._audit_on:
+            self._audit.record(self.sim.now, aud.OP_THROTTLE, "rt",
+                               displaced=task.tid,
+                               reason=tev.DESCHED_THROTTLE, arg=period)
         self._make_ready(task)
         core.task = None
         self.rt_rq.enqueue(task)
@@ -626,6 +664,10 @@ class DiscreteMachine(MachineBase):
         if self._trace_on:
             self._trace.emit(self.sim.now, tev.TASK_DESCHEDULE, task.tid,
                              core.index, (tev.DESCHED_RECLASS,))
+        if self._audit_on:
+            self._audit.record(self.sim.now, aud.OP_RECLASS, "kernel",
+                               displaced=task.tid,
+                               reason=tev.DESCHED_RECLASS)
         self._make_ready(task)
         core.task = None
         self._enqueue_cfs(task, wakeup=False)

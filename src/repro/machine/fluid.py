@@ -36,6 +36,7 @@ from repro.sched.rt import RTRunqueue
 from repro.sim.engine import EventHandle, Simulator
 from repro.sim.task import BurstKind, SchedPolicy, Task, TaskState
 from repro.trace import events as tev
+from repro.why import audit as aud
 
 _EPS = 1e-6
 
@@ -76,6 +77,8 @@ class FluidMachine(MachineBase):
                 "repro_pool_enters_total", help="tasks entering the CFS pool")
             self._m_rt_starts = self._metrics.counter(
                 "repro_rt_starts_total", help="dedicated-core RT starts")
+        if self._audit_on:
+            self.rt_wait.audit = aud.RunqueueAudit(self._audit, sim, "rt")
         prof = self._metrics.profiler
         if prof is not None:
             # shadow the bound method so the nominal path stays untouched
@@ -128,10 +131,18 @@ class FluidMachine(MachineBase):
 
         if task.tid in self._pool:
             self._leave_pool(task, completing=False)
+            if self._audit_on:
+                self._audit.record(self.sim.now, aud.OP_RECLASS, "kernel",
+                                   displaced=task.tid,
+                                   reason=tev.DESCHED_RECLASS)
             task.state = TaskState.READY
             task._ready_since = self.sim.now  # type: ignore[attr-defined]
         elif task.tid in self._rt_running:
             self._stop_rt(task, involuntary=True, reason=tev.DESCHED_RECLASS)
+            if self._audit_on:
+                self._audit.record(self.sim.now, aud.OP_RECLASS, "kernel",
+                                   displaced=task.tid,
+                                   reason=tev.DESCHED_RECLASS)
             task.state = TaskState.READY
             task._ready_since = self.sim.now  # type: ignore[attr-defined]
         elif task.state is TaskState.READY:
@@ -146,6 +157,10 @@ class FluidMachine(MachineBase):
     def kill(self, task: Task, reason: str = "crash") -> bool:
         if task.state is TaskState.FINISHED:
             return False
+        if self._audit_on:
+            self._audit.record(self.sim.now, aud.OP_KILL, "faults",
+                               displaced=task.tid, reason=reason,
+                               arg=task.state.value)
         if task.tid in self._pool:
             self._leave_pool(task, completing=False)
         elif task.tid in self._rt_running:
@@ -264,6 +279,9 @@ class FluidMachine(MachineBase):
             self._trace.emit(self.sim.now, tev.TASK_RUN, task.tid)
         if self._metrics_on:
             self._m_pool_enters.inc()
+        if self._audit_on:
+            self._audit.record(self.sim.now, aud.OP_PICK, "pool",
+                               chosen=task.tid, arg=len(self._pool))
         heapq.heappush(self._heap, (target, next(self._seq), task))
         self._reschedule_pool_event()
 
@@ -371,6 +389,11 @@ class FluidMachine(MachineBase):
             if victim is None:
                 return
             self._stop_rt(victim, involuntary=True)
+            if self._audit_on:
+                self._audit.record(self.sim.now, aud.OP_PREEMPT, "rt",
+                                   chosen=nxt.tid, displaced=victim.tid,
+                                   reason=tev.DESCHED_PREEMPT,
+                                   arg=nxt.rt_priority)
             victim.state = TaskState.READY
             victim._ready_since = self.sim.now  # type: ignore[attr-defined]
             self.rt_wait.enqueue(victim)

@@ -19,9 +19,9 @@ overhead  the residual: context-switch cost, slice rounding and
 
 Records split into the paper's *short*/*long* function classes at
 400 ms of CPU demand (Table I's empty band between the 400 ms and
-1550 ms bins).  The threshold is duplicated from
-``repro.experiments.common.SHORT_CPU_BOUND_US`` on purpose: obs is a
-lower layer and must not import the experiment stack.
+1550 ms bins).  The threshold lives in :mod:`repro.constants` — a
+dependency-free module — so obs stays importable without the
+experiment stack while agreeing with it on the boundary.
 
 Per-core utilization and queue-depth timelines come from the gauge
 series a :class:`repro.obs.MetricsRegistry` collected during the run.
@@ -32,10 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-#: CPU demand (us) below which a function counts as "short" — keep in
-#: sync with repro.experiments.common.SHORT_CPU_BOUND_US (not imported:
-#: obs must stay importable without the experiment stack).
-SHORT_CPU_BOUND_US = 400_000
+from repro.constants import SHORT_CPU_BOUND_US  # noqa: F401  (re-export)
 
 #: decomposition order used by every table/exporter
 COMPONENTS = ("queue", "run", "block", "wait", "overhead")

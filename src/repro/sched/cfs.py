@@ -80,6 +80,9 @@ class CfsRunqueue:
         #: optional repro.obs.hooks.RunqueueObs; the machine attaches it
         #: when a MetricsRegistry is installed (None = zero overhead)
         self.obs = None
+        #: optional repro.why.audit.RunqueueAudit; attached the same way
+        #: when an AuditLog is installed (None = zero overhead)
+        self.audit = None
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -138,6 +141,8 @@ class CfsRunqueue:
         self._refresh_min_vruntime(curr_vruntime=task.vruntime)
         if self.obs is not None:
             self.obs.on_pick()
+        if self.audit is not None:
+            self.audit.on_pick(task.tid)
         return task
 
     def peek_next(self) -> Optional[Task]:

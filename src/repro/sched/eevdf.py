@@ -61,6 +61,9 @@ class EevdfRunqueue:
         #: optional repro.obs.hooks.RunqueueObs; the machine attaches it
         #: when a MetricsRegistry is installed (None = zero overhead)
         self.obs = None
+        #: optional repro.why.audit.RunqueueAudit; attached the same way
+        #: when an AuditLog is installed (None = zero overhead)
+        self.audit = None
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -118,6 +121,8 @@ class EevdfRunqueue:
         self.dequeue(best)
         if self.obs is not None:
             self.obs.on_pick()
+        if self.audit is not None:
+            self.audit.on_pick(best.tid)
         return best
 
     def peek_next(self) -> Optional[Task]:

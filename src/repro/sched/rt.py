@@ -43,6 +43,9 @@ class RTRunqueue:
         #: optional repro.obs.hooks.RunqueueObs; the machine attaches it
         #: when a MetricsRegistry is installed (None = zero overhead)
         self.obs = None
+        #: optional repro.why.audit.RunqueueAudit; attached the same way
+        #: when an AuditLog is installed (None = zero overhead)
+        self.audit = None
 
     def __len__(self) -> int:
         live = 0
@@ -84,6 +87,8 @@ class RTRunqueue:
         self._members.discard(task.tid)
         if self.obs is not None:
             self.obs.on_pick()
+        if self.audit is not None:
+            self.audit.on_pick(task.tid)
         return task
 
     def peek(self) -> Optional[Task]:

@@ -20,6 +20,7 @@ from repro.invariants.checker import NULL_CHECKER
 from repro.obs.profiler import perf_counter
 from repro.obs.registry import NULL_REGISTRY
 from repro.trace.recorder import NULL_RECORDER
+from repro.why.audit import NULL_AUDIT
 
 
 class SimulationError(RuntimeError):
@@ -104,6 +105,11 @@ class Simulator:
     Metric hooks are read-only with respect to virtual time, so an
     enabled run is bit-identical to a disabled one.
 
+    ``audit`` follows the same contract for the scheduler-decision
+    audit stream (:mod:`repro.why.audit`): default is the shared no-op
+    :data:`repro.why.audit.NULL_AUDIT`; install a real
+    :class:`repro.why.AuditLog` before building the machine.
+
     ``label`` names the run in diagnostics (e.g. the scheduler/engine
     pair); it is only ever read when an error message is built.
     """
@@ -111,7 +117,8 @@ class Simulator:
     def __init__(self, trace: Optional[Any] = None,
                  invariants: Optional[Any] = None,
                  metrics: Optional[Any] = None,
-                 label: str = "") -> None:
+                 label: str = "",
+                 audit: Optional[Any] = None) -> None:
         self.now: int = 0
         self.label = label
         self._heap: list[tuple[int, int, EventHandle]] = []
@@ -122,6 +129,7 @@ class Simulator:
         self.invariants = invariants if invariants is not None else NULL_CHECKER
         self._inv_on = self.invariants.enabled
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.audit = audit if audit is not None else NULL_AUDIT
         # host self-profiler (wall clock around dispatch); None when off
         self._prof = self.metrics.profiler
 
