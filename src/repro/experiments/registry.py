@@ -18,6 +18,7 @@ from repro.experiments import (
     ext_coldstart,
     ext_eevdf,
     ext_predictive,
+    ext_resilience,
     ext_slo,
     fig01_azure_cdf,
     fig02_motivation,
@@ -108,6 +109,8 @@ REGISTRY: Dict[str, Entry] = {
               ext_billing),
         Entry("chaos", "scheduling under failure: crashes, stragglers, "
               "overload shedding", chaos),
+        Entry("ext-resilience", "SLO under chaos: domain outages, failover, "
+              "hedging, retry-storm defense", ext_resilience),
         Entry("replay", "streaming long-horizon replay grid", replay_stream),
     )
 }

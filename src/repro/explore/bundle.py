@@ -51,7 +51,9 @@ _NONDETERMINISTIC_MANIFEST_FIELDS = (
 _FAULT_MARK_KINDS = (
     tev.FAULT_CRASH, tev.FAULT_COLDSTART, tev.FAULT_TIMEOUT,
     tev.FAULT_HOST_DOWN, tev.FAULT_HOST_UP, tev.RETRY_BACKOFF,
-    tev.RETRY_EXHAUSTED, tev.SHED_REQUEST,
+    tev.RETRY_EXHAUSTED, tev.RETRY_THROTTLED, tev.SHED_REQUEST,
+    tev.HEALTH_DOWN, tev.HEALTH_UP, tev.FAILOVER_REDISPATCH,
+    tev.HEDGE_LAUNCH, tev.HEDGE_WIN, tev.HEDGE_CANCEL,
 )
 
 #: (gauge kind, display label) in preference order for the queue chart

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.predictor import DurationPredictor
 from repro.faas.openlambda import OpenLambdaConfig, OpenLambdaPlatform
+from repro.faas.resilience import ResilienceConfig, ResilienceRuntime
 from repro.faults.runtime import FaultRuntime
 from repro.invariants.checker import resolve_checker
 from repro.metrics.collector import RunResult, build_records
@@ -49,6 +50,15 @@ class ClusterConfig:
     #: predicted CPU demand above which a function counts as "long"
     #: (Table I's gap: nothing lives between 400 ms and 1550 ms).
     long_threshold: int = 400 * MS
+    #: per-host relative CPU speeds for heterogeneous clusters (empty =
+    #: homogeneous); must be length ``n_hosts``, each in (0, 1].  These
+    #: compose multiplicatively with ``FaultPlan.straggler_speed`` — a
+    #: permanently-slow host and a transiently-degraded one are
+    #: different statements.
+    host_speeds: Tuple[float, ...] = ()
+    #: failover / hedging / retry-budget policy (None = the fragile
+    #: dispatcher: no health checks, stranded work goes host_lost)
+    resilience: Optional[ResilienceConfig] = None
 
     def __post_init__(self) -> None:
         if self.n_hosts <= 0:
@@ -57,6 +67,27 @@ class ClusterConfig:
             raise ValueError(f"unknown placement {self.placement!r}")
         if self.long_threshold <= 0:
             raise ValueError("long_threshold must be positive")
+        try:
+            object.__setattr__(
+                self, "host_speeds",
+                tuple(float(s) for s in self.host_speeds),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ValueError(
+                f"host_speeds must be numbers, got {self.host_speeds!r}: "
+                f"{exc}"
+            ) from None
+        if self.host_speeds and len(self.host_speeds) != self.n_hosts:
+            raise ValueError(
+                f"host_speeds has {len(self.host_speeds)} entries for "
+                f"{self.n_hosts} hosts; give one speed per host (or none)"
+            )
+        for i, s in enumerate(self.host_speeds):
+            # the explicit != ordering also rejects NaN speeds
+            if not (0.0 < s <= 1.0) or s != s:
+                raise ValueError(
+                    f"host_speeds[{i}] = {s} not in (0, 1] (1.0 = nominal)"
+                )
 
 
 class FaaSCluster:
@@ -67,30 +98,46 @@ class FaaSCluster:
         self.config = config
         plan = config.host.faults
         #: one shared governor for the whole cluster (or None): retry
-        #: routing must go back through placement, not pin to a host
+        #: routing must go back through placement, not pin to a host.
+        #: A resilience policy forces a governor even with a null fault
+        #: config — hedging alone needs attempt accounting.
         self.faults: Optional[FaultRuntime] = (
             FaultRuntime(
                 sim, plan=plan, retry=config.host.retry,
                 admission=config.host.admission, timeout=config.host.timeout,
             )
-            if config.host.fault_handling
+            if config.host.fault_handling or config.resilience is not None
             else None
         )
         self.hosts: List[OpenLambdaPlatform] = []
         for i in range(config.n_hosts):
             host_cfg = replace(config.host, seed=config.host.seed + i)
+            speed = config.host_speeds[i] if config.host_speeds else 1.0
             if plan is not None:
-                speed = plan.straggler_speed(i)
-                if speed != 1.0:
-                    host_cfg = replace(
-                        host_cfg, machine=replace(host_cfg.machine, speed=speed)
-                    )
+                speed *= plan.straggler_speed(i)
+            if speed != 1.0:
+                host_cfg = replace(
+                    host_cfg, machine=replace(host_cfg.machine, speed=speed)
+                )
             self.hosts.append(OpenLambdaPlatform(sim, host_cfg, faults=self.faults))
+        #: ground-truth liveness, flipped exactly at the fault window edges
         self._alive: List[bool] = [True] * config.n_hosts
+        #: the *dispatcher's* view of liveness.  Without resilience it is
+        #: the same list object (placement reacts instantly, the legacy
+        #: behaviour); with resilience it is a separate copy that only
+        #: the health poller updates, so detection latency is simulated.
+        self._view: List[bool] = self._alive
+        self.resilience: Optional[ResilienceRuntime] = None
+        if config.resilience is not None:
+            self._view = list(self._alive)
+            self.resilience = ResilienceRuntime(
+                sim, config.resilience, self, self.faults)
+            self.faults.resilience = self.resilience
+            self.resilience.attach()
         if self.faults is not None:
             self.faults.retry_router = self._redispatch
             if plan is not None:
-                for host, down_at, up_at in plan.host_failures:
+                for host, down_at, up_at in plan.expanded_host_failures():
                     if host >= config.n_hosts:
                         raise ValueError(
                             f"host failure targets host {host} but the "
@@ -133,11 +180,21 @@ class FaaSCluster:
             self._m_dispatch[idx].inc()
         self._work[idx] += self.predictor.predict(spec.name or spec.app)
         self.hosts[idx].invoke(spec)
+        if self.resilience is not None:
+            self.resilience.after_dispatch(spec, idx)
 
-    def _redispatch(self, spec: RequestSpec) -> None:
+    def _redispatch(self, spec: RequestSpec) -> int:
         """Retry routing: place the attempt fresh (a failed host must
         not get its own retries back while it is down)."""
         idx = self._place(spec)
+        self._work[idx] += self.predictor.predict(spec.name or spec.app)
+        self.hosts[idx].retry_entry(spec)
+        return idx
+
+    def _hedge_dispatch(self, spec: RequestSpec, idx: int) -> None:
+        """Launch a hedged backup attempt on a chosen healthy host."""
+        if self._metrics_on:
+            self._m_dispatch[idx].inc()
         self._work[idx] += self.predictor.predict(spec.name or spec.app)
         self.hosts[idx].retry_entry(spec)
 
@@ -157,7 +214,7 @@ class FaaSCluster:
             for _ in range(len(self.hosts)):
                 idx = self._rr % len(self.hosts)
                 self._rr += 1
-                if self._alive[idx]:
+                if self._view[idx]:
                     return idx
             return idx  # every host down: park it on the last candidate
         if policy == "least_loaded":
@@ -171,11 +228,12 @@ class FaaSCluster:
         return self._argmin(lambda i: self.hosts[i].outstanding)
 
     def _argmin(self, key) -> int:
-        """Least-``key`` *alive* host (any host when all are down —
-        the pipeline then fails the attempt at the dead host's door)."""
+        """Least-``key`` host the *dispatcher believes* alive (any host
+        when it believes none are — the pipeline then fails the attempt
+        at the dead host's door)."""
         best, best_val = None, None
         for i in range(len(self.hosts)):
-            if not self._alive[i]:
+            if not self._view[i]:
                 continue
             v = key(i)
             if best_val is None or v < best_val:
@@ -203,22 +261,25 @@ class FaaSCluster:
 
 
 def run_cluster(workload: Workload, config: ClusterConfig,
-                trace=None, metrics=None) -> RunResult:
+                trace=None, metrics=None, invariants=None) -> RunResult:
     """Replay a workload through the cluster; records merged across hosts.
 
     Invariant checking follows ``REPRO_INVARIANTS`` (see
-    :mod:`repro.invariants`); one checker audits every host machine.
-    ``trace`` / ``metrics`` install a recorder / registry on the shared
-    simulator; per-host gauges (outstanding, keep-alive occupancy) are
-    labelled by host index.
+    :mod:`repro.invariants`) unless ``invariants`` forces it; one
+    checker audits every host machine.  ``trace`` / ``metrics`` install
+    a recorder / registry on the shared simulator; per-host gauges
+    (outstanding, keep-alive occupancy) are labelled by host index.
     """
     checker = resolve_checker(
-        None, seed=workload.meta.get("seed"),
+        invariants, seed=workload.meta.get("seed"),
         label=f"cluster[{config.placement}] scheduler={config.host.scheduler}",
     )
     sim = Simulator(trace=trace, invariants=checker, metrics=metrics)
     cluster = FaaSCluster(sim, config)
-    attach_gauge_sampler(sim, extra=cluster.hosts)
+    extra = list(cluster.hosts)
+    if cluster.resilience is not None:
+        extra.append(cluster.resilience)
+    attach_gauge_sampler(sim, extra=extra)
     for spec in workload:
         sim.schedule_at(spec.arrival, cluster.dispatch, spec)
     sim.run()
@@ -234,6 +295,10 @@ def run_cluster(workload: Workload, config: ClusterConfig,
         "placements": cluster.placements,
         "events_executed": sim.events_executed,
     }
+    if config.host_speeds:
+        meta["host_speeds"] = list(config.host_speeds)
+    if config.resilience is not None:
+        meta["resilience"] = config.resilience.to_json()
     if cluster.faults is not None:
         meta["fault_stats"] = cluster.faults.stats.as_dict()
     records = build_records(pairs, faults=cluster.faults)

@@ -128,7 +128,10 @@ class OpenLambdaPlatform:
         self.outstanding: int = 0
         #: cluster slot for gauge labelling (-1 = standalone host)
         self.host_index: int = -1
-        # metric registry: cached like the trace recorder (repro.obs)
+        # trace recorder + metric registry: cached at construction like
+        # every instrumented layer (repro.trace / repro.obs contract)
+        self._trace = sim.trace
+        self._trace_on = self._trace.enabled
         self._metrics = sim.metrics
         self._metrics_on = self._metrics.enabled
         if self._metrics_on:
@@ -172,17 +175,25 @@ class OpenLambdaPlatform:
 
     def _at_sandbox_server(self, spec: RequestSpec) -> None:
         """OL worker forwarded the request; acquire a warm container."""
-        if self.faults is not None and self.down:
-            self._fail_before_spawn(spec)
-            return
+        if self.faults is not None:
+            if self.faults.settled(spec.req_id):
+                self.outstanding -= 1  # hedge sibling already answered
+                return
+            if self.down:
+                self._fail_before_spawn(spec, reason="host")
+                return
         self.pool.acquire(spec.app or spec.name, lambda: self._dispatch(spec))
 
     def _dispatch(self, spec: RequestSpec) -> None:
         """Sandbox server starts the function process in the container."""
         if self.faults is not None:
+            if self.faults.settled(spec.req_id):
+                self.pool.release(spec.app or spec.name)
+                self.outstanding -= 1
+                return
             if self.down:
                 self.pool.release(spec.app or spec.name)
-                self._fail_before_spawn(spec)
+                self._fail_before_spawn(spec, reason="host")
                 return
             if self.faults.coldstart_faulted(spec):
                 # container provisioning failed: the slot is freed, the
@@ -202,12 +213,24 @@ class OpenLambdaPlatform:
         self.sim.schedule(delay, self._spawn, spec)
 
     def _spawn(self, spec: RequestSpec) -> None:
-        if self.faults is not None and self.down:
-            self.pool.release(spec.app or spec.name)
-            self._fail_before_spawn(spec)
-            return
+        if self.faults is not None:
+            if self.faults.settled(spec.req_id):
+                self.pool.release(spec.app or spec.name)
+                if self.coldstart is not None:
+                    self.coldstart.release(spec.name or spec.app)
+                self.outstanding -= 1
+                return
+            if self.down:
+                self.pool.release(spec.app or spec.name)
+                self._fail_before_spawn(spec, reason="host")
+                return
         task = spec.make_task(policy=SchedPolicy.CFS)
         self.pairs.append((spec, task))
+        if self._trace_on:
+            # same lifecycle mark the bare-machine runner emits, so
+            # repro.why can reconstruct platform runs too
+            self._trace.emit(self.sim.now, tev.TASK_SPAWN, task.tid,
+                             args=(spec.name, spec.req_id))
         self._app_of[task.tid] = spec.app or spec.name
         self._fn_of[task.tid] = spec.name or spec.app
         if self.faults is not None:
@@ -216,6 +239,7 @@ class OpenLambdaPlatform:
         self.machine.spawn(task)
         if self.faults is not None:
             self.faults.arm(spec, task, self.machine)
+            self.faults.note_spawn(spec, task, self.host_index)
         if self.sfs is not None:
             # UDP message (pid, invocation timestamp) to the SFS queue
             notify = self.config.overheads.udp_notify.sample(self.rng)
@@ -242,11 +266,13 @@ class OpenLambdaPlatform:
     # ------------------------------------------------------------------
     # failure paths
     # ------------------------------------------------------------------
-    def _fail_before_spawn(self, spec: RequestSpec) -> None:
+    def _fail_before_spawn(self, spec: RequestSpec,
+                           reason: str = "crash") -> None:
         """The attempt died before a process existed (provisioning
         failure or the host went down mid-pipeline)."""
         self.outstanding -= 1
-        delay = self.faults.fail_attempt(spec)
+        delay = self.faults.fail_attempt(spec, reason=reason,
+                                         host=self.host_index)
         if delay is not None:
             self.sim.schedule(delay, self._route_retry, spec)
 

@@ -18,10 +18,11 @@ across schedulers and engines — the paired-comparison discipline the
 reproduction's figures rely on, extended to failure studies.
 """
 
-from repro.faults.plan import NULL_PLAN, FaultPlan
+from repro.faults.plan import NULL_PLAN, FaultPlan, flaky_host_windows
 from repro.faults.policy import AdmissionControl, RetryPolicy
 from repro.faults.runtime import (
     STATUS_FAILED,
+    STATUS_HOST_LOST,
     STATUS_OK,
     STATUS_SHED,
     STATUS_TIMEOUT,
@@ -32,6 +33,7 @@ from repro.faults.runtime import (
 __all__ = [
     "FaultPlan",
     "NULL_PLAN",
+    "flaky_host_windows",
     "RetryPolicy",
     "AdmissionControl",
     "FaultRuntime",
@@ -40,4 +42,5 @@ __all__ = [
     "STATUS_FAILED",
     "STATUS_TIMEOUT",
     "STATUS_SHED",
+    "STATUS_HOST_LOST",
 ]

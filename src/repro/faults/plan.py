@@ -30,6 +30,8 @@ import numpy as np
 # streams for independent fault classes
 _SALT_CRASH = 0xC1
 _SALT_COLDSTART = 0xC2
+# seeded fail/recover window schedules (flaky_host_windows)
+_SALT_FLAP = 0xD0
 
 
 @dataclass(frozen=True)
@@ -41,6 +43,13 @@ class FaultPlan:
     ``host_failures`` are ``(host, down_at, up_at)`` windows in absolute
     virtual microseconds; in-flight work on the host is killed at
     ``down_at`` and the host rejoins placement at ``up_at``.
+
+    ``fault_domains`` groups host indices into racks/zones (each host
+    belongs to at most one domain); ``domain_failures`` are
+    ``(domain_index, down_at, up_at)`` windows that take the whole
+    domain down at once — the correlated-failure mode a per-host window
+    cannot express.  :meth:`expanded_host_failures` flattens both forms
+    into one per-host window list for the cluster runtime.
     """
 
     seed: int = 0
@@ -52,6 +61,11 @@ class FaultPlan:
     stragglers: Tuple[Tuple[int, float], ...] = ()
     #: ((host_index, down_at_us, up_at_us), ...) — fail/recover windows
     host_failures: Tuple[Tuple[int, int, int], ...] = ()
+    #: ((host_index, ...), ...) — rack/zone groupings for correlated
+    #: failures; a host may appear in at most one domain
+    fault_domains: Tuple[Tuple[int, ...], ...] = ()
+    #: ((domain_index, down_at_us, up_at_us), ...) — whole-domain outages
+    domain_failures: Tuple[Tuple[int, int, int], ...] = ()
 
     def __post_init__(self) -> None:
         if isinstance(self.seed, bool) or not isinstance(self.seed, numbers.Integral):
@@ -97,8 +111,51 @@ class FaultPlan:
                     f"per host (straggler_speed would silently use the first)"
                 )
             straggling.add(host)
+        try:
+            object.__setattr__(
+                self, "fault_domains",
+                tuple(tuple(int(h) for h in dom) for dom in self.fault_domains),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ValueError(
+                f"fault_domains must be tuples of host indices, got "
+                f"{self.fault_domains!r}: {exc}"
+            ) from None
+        try:
+            object.__setattr__(
+                self, "domain_failures",
+                tuple((int(d), int(a), int(b)) for d, a, b in self.domain_failures),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ValueError(
+                f"domain_failures must be (domain_index, down_at_us, "
+                f"up_at_us) triples, got {self.domain_failures!r}: {exc}"
+            ) from None
+        grouped = set()
+        for di, dom in enumerate(self.fault_domains):
+            if not dom:
+                raise ValueError(f"fault domain {di} is empty")
+            for host in dom:
+                if host < 0:
+                    raise ValueError("domain host index must be >= 0")
+                if host in grouped:
+                    raise ValueError(
+                        f"host {host} appears in more than one fault "
+                        f"domain; a host belongs to at most one rack/zone"
+                    )
+                grouped.add(host)
+        for domain, down_at, up_at in self.domain_failures:
+            if not (0 <= domain < len(self.fault_domains)):
+                raise ValueError(
+                    f"domain failure targets domain {domain} but the plan "
+                    f"declares {len(self.fault_domains)} fault domains"
+                )
+            if not (0 <= down_at < up_at):
+                raise ValueError("domain failure needs 0 <= down_at < up_at")
+        # validate the *expanded* per-host windows so a direct window and
+        # a domain outage cannot overlap on the same host either
         windows: dict = {}
-        for host, down_at, up_at in self.host_failures:
+        for host, down_at, up_at in self.expanded_host_failures():
             if host < 0:
                 raise ValueError("failed host index must be >= 0")
             if not (0 <= down_at < up_at):
@@ -130,7 +187,19 @@ class FaultPlan:
             and self.coldstart_fail_prob == 0.0
             and not self.stragglers
             and not self.host_failures
+            and not self.domain_failures
         )
+
+    def expanded_host_failures(self) -> Tuple[Tuple[int, int, int], ...]:
+        """Every per-host fail/recover window, with domain outages
+        flattened to one window per member host.  Order is
+        deterministic: direct windows first, then domain windows in
+        (failure, member) declaration order."""
+        out = list(self.host_failures)
+        for domain, down_at, up_at in self.domain_failures:
+            for host in self.fault_domains[domain]:
+                out.append((host, down_at, up_at))
+        return tuple(out)
 
     def crashes(self, req_id: int, attempt: int) -> Optional[float]:
         """Crash point for this attempt as a fraction of its ideal
@@ -193,3 +262,31 @@ class FaultPlan:
 
 #: the do-nothing plan (shared, immutable)
 NULL_PLAN = FaultPlan()
+
+
+def flaky_host_windows(
+    seed: int,
+    host: int,
+    horizon_us: int,
+    n_windows: int = 3,
+    down_us: int = 500_000,
+) -> Tuple[Tuple[int, int, int], ...]:
+    """Seeded deterministic fail/recover schedule for one flapping host.
+
+    Partitions ``[0, horizon_us)`` into ``n_windows`` equal slots and
+    places one ``down_us``-long outage at a hashed offset inside each,
+    so the windows are non-overlapping by construction and the schedule
+    is a pure function of ``(seed, host)`` — the same host flaps at the
+    same instants under CFS and under SFS.
+    """
+    if horizon_us <= 0 or n_windows <= 0:
+        raise ValueError("flaky_host_windows needs a positive horizon "
+                         "and window count")
+    slot = horizon_us // n_windows
+    down = max(1, min(down_us, slot - 1)) if slot > 1 else 1
+    rng = np.random.default_rng((seed, host, _SALT_FLAP))
+    out = []
+    for i in range(n_windows):
+        start = i * slot + int(rng.integers(0, max(1, slot - down)))
+        out.append((host, start, start + down))
+    return tuple(out)

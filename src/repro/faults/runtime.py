@@ -34,9 +34,10 @@ from repro.workload.spec import RequestSpec
 
 #: terminal request states beyond the default "ok"
 STATUS_OK = "ok"
-STATUS_FAILED = "failed"      # attempts exhausted (crash / host loss)
+STATUS_FAILED = "failed"      # attempts exhausted (crash / provisioning)
 STATUS_TIMEOUT = "timeout"    # request deadline expired
 STATUS_SHED = "shed"          # admission control rejected it
+STATUS_HOST_LOST = "host_lost"  # died with a failed host, no failover left
 
 
 @dataclass
@@ -50,6 +51,11 @@ class FaultStats:
     retries: int = 0             # backoffs scheduled
     shed: int = 0                # requests rejected at admission
     abandoned: int = 0           # requests that exhausted retries
+    host_lost: int = 0           # requests lost with a failed host
+    failovers: int = 0           # stranded attempts re-dispatched
+    hedges: int = 0              # backup attempts launched
+    hedge_wins: int = 0          # hedge races the backup won
+    retry_throttled: int = 0     # retries denied by the global budget
 
     def as_dict(self) -> Dict[str, int]:
         return dict(self.__dict__)
@@ -85,9 +91,15 @@ class FaultRuntime:
         #: cluster hook: re-dispatch a retry through placement instead
         #: of pinning it to the host that just failed it
         self.retry_router: Optional[Callable[[RequestSpec], None]] = None
+        #: cluster hook: the ResilienceRuntime coordinator (failover /
+        #: hedging / retry budget); None for single-host runs
+        self.resilience = None
         self._attempts: Dict[int, int] = {}
         self._terminal: Dict[int, _Outcome] = {}
         self._specs: Dict[int, RequestSpec] = {}
+        # armed timers are keyed by *task id*, not request id: under
+        # hedging one request can have two live attempts, each with its
+        # own crash/deadline timers
         self._armed: Dict[int, List[EventHandle]] = {}
 
     # ------------------------------------------------------------------
@@ -100,10 +112,22 @@ class FaultRuntime:
         self.stats.shed += 1
         self._specs[spec.req_id] = spec
         self._terminal[spec.req_id] = _Outcome(STATUS_SHED, self.sim.now)
+        if self.resilience is not None:
+            self.resilience.settle(spec.req_id)
         if self._trace_on:
             self._trace.emit(self.sim.now, tev.SHED_REQUEST,
                              args=(spec.req_id, outstanding))
         return False
+
+    def settled(self, req_id: int) -> bool:
+        """Has the request already been answered (hedge win) or gone
+        terminal?  Pipeline stages drop settled work on the floor."""
+        res = self.resilience
+        return res is not None and res.is_settled(req_id)
+
+    def attempts_of(self, req_id: int) -> int:
+        """Attempts begun so far for a request (0 before ingress)."""
+        return self._attempts.get(req_id, 0)
 
     def deadline_of(self, spec: RequestSpec) -> Optional[int]:
         """Absolute deadline (us), or None when timeouts are off."""
@@ -121,6 +145,8 @@ class FaultRuntime:
         self.stats.timeouts += 1
         self._specs[spec.req_id] = spec
         self._terminal[spec.req_id] = _Outcome(STATUS_TIMEOUT, self.sim.now)
+        if self.resilience is not None:
+            self.resilience.settle(spec.req_id)
         if self._trace_on:
             self._trace.emit(self.sim.now, tev.FAULT_TIMEOUT, tid,
                              args=(self.deadline_of(spec),))
@@ -130,6 +156,8 @@ class FaultRuntime:
         attempt = self._attempts.get(spec.req_id, 0) + 1
         self._attempts[spec.req_id] = attempt
         self._specs[spec.req_id] = spec
+        if self.resilience is not None:
+            self.resilience.note_begin(spec.req_id)
         return attempt
 
     # ------------------------------------------------------------------
@@ -161,7 +189,12 @@ class FaultRuntime:
             handles.append(self.sim.schedule_at(
                 deadline, self._deadline, spec, task, machine))
         if handles:
-            self._armed[req_id] = handles
+            self._armed[task.tid] = handles
+
+    def note_spawn(self, spec: RequestSpec, task: Task, host: int) -> None:
+        """A process exists for the current attempt on ``host``."""
+        if self.resilience is not None:
+            self.resilience.note_spawn(spec, task, host)
 
     def _crash(self, task: Task, machine, attempt: int) -> None:
         if task.state is TaskState.FINISHED:
@@ -175,35 +208,62 @@ class FaultRuntime:
     def _deadline(self, spec: RequestSpec, task: Task, machine) -> None:
         if task.state is TaskState.FINISHED:
             return
-        self.stats.timeouts += 1
-        if self._trace_on:
-            self._trace.emit(self.sim.now, tev.FAULT_TIMEOUT, task.tid,
-                             args=(self.deadline_of(spec),))
+        # under hedging two attempts share one deadline; count the
+        # request's expiry once even though both tasks get killed
+        if spec.req_id not in self._terminal:
+            self.stats.timeouts += 1
+            if self._trace_on:
+                self._trace.emit(self.sim.now, tev.FAULT_TIMEOUT, task.tid,
+                                 args=(self.deadline_of(spec),))
         machine.kill(task, "timeout")
 
     # ------------------------------------------------------------------
     # failure handling
     # ------------------------------------------------------------------
-    def fail_attempt(self, spec: RequestSpec) -> Optional[int]:
+    def fail_attempt(self, spec: RequestSpec, reason: str = "crash",
+                     host: int = -1) -> Optional[int]:
         """The current attempt failed retryably (crash, host loss,
         provisioning).  Returns the backoff delay (us) when a retry
         should be scheduled, or None when the failure is terminal
-        (outcome recorded)."""
+        (outcome recorded) or a resilience mechanism absorbed it."""
         req_id = spec.req_id
         attempt = self._attempts[req_id]
+        res = self.resilience
+        if res is not None:
+            if res.absorb_death(req_id):
+                return None  # hedge sibling still racing: no retry
+            if reason == "host" and res.try_strand(spec, host):
+                return None  # parked for failover at the next poll
         if self.retry is not None and self.retry.allows(attempt):
-            delay = self.retry.backoff(req_id, attempt)
-            deadline = self.deadline_of(spec)
-            if deadline is None or self.sim.now + delay < deadline:
-                self.stats.retries += 1
-                if self._trace_on:
-                    self._trace.emit(self.sim.now, tev.RETRY_BACKOFF,
-                                     args=(req_id, attempt, delay))
-                return delay
-            self.mark_timeout(spec)  # the backoff would overrun the deadline
-            return None
-        self.stats.abandoned += 1
-        self._terminal[req_id] = _Outcome(STATUS_FAILED, self.sim.now)
+            if res is None or res.allow_retry(req_id, attempt):
+                delay = self.retry.backoff(req_id, attempt)
+                deadline = self.deadline_of(spec)
+                if deadline is None or self.sim.now + delay < deadline:
+                    self.stats.retries += 1
+                    if res is not None:
+                        res.note_retry_scheduled(req_id)
+                    if self._trace_on:
+                        self._trace.emit(self.sim.now, tev.RETRY_BACKOFF,
+                                         args=(req_id, attempt, delay))
+                    return delay
+                self.mark_timeout(spec)  # the backoff would overrun it
+                return None
+            self.stats.retry_throttled += 1
+            res.on_throttled()
+            if self._trace_on:
+                self._trace.emit(self.sim.now, tev.RETRY_THROTTLED,
+                                 args=(req_id, attempt))
+        if reason == "host":
+            self.stats.host_lost += 1
+            status = STATUS_HOST_LOST
+            if res is not None:
+                res.on_host_lost()
+        else:
+            self.stats.abandoned += 1
+            status = STATUS_FAILED
+        self._terminal[req_id] = _Outcome(status, self.sim.now)
+        if res is not None:
+            res.settle(req_id)
         if self._trace_on:
             self._trace.emit(self.sim.now, tev.RETRY_EXHAUSTED,
                              args=(req_id, attempt))
@@ -212,15 +272,24 @@ class FaultRuntime:
     def on_task_end(self, spec: RequestSpec, task: Task) -> Optional[int]:
         """Observe an exit (normal or killed).  Returns a retry delay
         when the platform should re-ingress the request, else None."""
-        for handle in self._armed.pop(spec.req_id, ()):
+        for handle in self._armed.pop(task.tid, ()):
             handle.cancel()
+        res = self.resilience
+        host = res.note_task_end(spec, task) if res is not None else -1
         if not task.killed:
+            if res is not None:
+                res.on_finish(spec, task)
             return None
+        if task.kill_reason == "hedge":
+            return None  # the sibling already answered this request
         if task.kill_reason == "timeout":
             self._terminal[spec.req_id] = _Outcome(STATUS_TIMEOUT, self.sim.now)
+            if res is not None:
+                res.settle(spec.req_id)
             return None
         if task.kill_reason == "host":
             self.stats.host_kills += 1
+            return self.fail_attempt(spec, reason="host", host=host)
         return self.fail_attempt(spec)
 
     # ------------------------------------------------------------------

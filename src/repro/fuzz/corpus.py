@@ -29,7 +29,7 @@ from typing import List, Optional, Tuple, Union
 from repro.experiments.runner import RunConfig
 from repro.faults.plan import FaultPlan
 from repro.faults.policy import AdmissionControl, RetryPolicy
-from repro.fuzz.generators import FuzzCase
+from repro.fuzz.generators import ClusterCase, FuzzCase
 from repro.fuzz.oracles import ORACLE_BY_NAME, Violation
 from repro.machine.base import MachineParams
 from repro.workload.io import pack_bursts, unpack_bursts
@@ -65,6 +65,8 @@ class ReproCase:
     note: str = ""
     campaign_seed: Optional[int] = None
     index: Optional[int] = None
+    #: set when the case runs through the fault-tolerant cluster tier
+    cluster: Optional[ClusterCase] = None
 
     def __post_init__(self) -> None:
         if self.oracle not in ORACLE_BY_NAME:
@@ -82,6 +84,7 @@ class ReproCase:
             index=self.index if self.index is not None else -1,
             workload=self.workload,
             config=self.config,
+            cluster=self.cluster,
         )
 
     def replay(self) -> Optional[Violation]:
@@ -165,6 +168,11 @@ class ReproCase:
                 "timeout": cfg.timeout,
                 "max_events": cfg.max_events,
             },
+            "cluster": {
+                "n_hosts": self.cluster.n_hosts,
+                "scheduler": self.cluster.scheduler,
+                "hedge": self.cluster.hedge,
+            } if self.cluster else None,
         }
         return data
 
@@ -172,7 +180,7 @@ class ReproCase:
     def from_json(cls, data: dict) -> "ReproCase":
         _strict(data, ("schema", "oracle", "expect_violation", "expected",
                        "note", "campaign_seed", "index", "workload",
-                       "config"), "ReproCase")
+                       "config", "cluster"), "ReproCase")
         if data.get("schema") != SCHEMA:
             raise ValueError(f"unsupported schema {data.get('schema')!r} "
                              f"(expected {SCHEMA!r})")
@@ -215,6 +223,15 @@ class ReproCase:
             timeout=c["timeout"],
             max_events=c["max_events"],
         )
+        cluster = None
+        if data.get("cluster") is not None:
+            cl = data["cluster"]
+            _strict(cl, ("n_hosts", "scheduler", "hedge"), "cluster")
+            cluster = ClusterCase(
+                n_hosts=int(cl["n_hosts"]),
+                scheduler=str(cl["scheduler"]),
+                hedge=bool(cl["hedge"]),
+            )
         return cls(
             oracle=str(data["oracle"]),
             workload=workload,
@@ -224,6 +241,7 @@ class ReproCase:
             note=str(data.get("note", "")),
             campaign_seed=data.get("campaign_seed"),
             index=data.get("index"),
+            cluster=cluster,
         )
 
     @classmethod
@@ -244,6 +262,7 @@ class ReproCase:
             note=note,
             campaign_seed=case.campaign_seed if case.campaign_seed >= 0 else None,
             index=case.index if case.index >= 0 else None,
+            cluster=case.cluster,
         )
 
     def save(self, path: Union[str, Path]) -> None:

@@ -35,6 +35,29 @@ _SALT_CASE = 0xF0
 
 
 @dataclass(frozen=True)
+class ClusterCase:
+    """The cluster dimension of a fuzz case (``None`` = single machine).
+
+    Small on purpose — 2 to 4 hosts is enough to exercise fault
+    domains, failover re-dispatch and hedged requests; the shrinker
+    folds toward 2 hosts with hedging off.  The fault domains and
+    domain outage windows themselves live on the case's
+    :class:`~repro.faults.plan.FaultPlan` (they are plan data, like any
+    other host failure).
+    """
+
+    n_hosts: int
+    scheduler: str = "cfs"
+    hedge: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_hosts < 2:
+            raise ValueError("cluster cases need >= 2 hosts")
+        if self.scheduler not in ("cfs", "sfs"):
+            raise ValueError("cluster cases run 'cfs' or 'sfs'")
+
+
+@dataclass(frozen=True)
 class FuzzCase:
     """One generated scenario, identified by ``(campaign_seed, index)``."""
 
@@ -42,6 +65,9 @@ class FuzzCase:
     index: int
     workload: Workload
     config: RunConfig
+    #: when set, the case runs through the fault-tolerant cluster tier
+    #: (repro.faas.cluster + resilience) instead of a bare machine
+    cluster: Optional[ClusterCase] = None
 
     @property
     def case_id(self) -> Tuple[int, int]:
@@ -52,6 +78,9 @@ class FuzzCase:
 
     def with_config(self, config: RunConfig) -> "FuzzCase":
         return replace(self, config=config)
+
+    def with_cluster(self, cluster: Optional["ClusterCase"]) -> "FuzzCase":
+        return replace(self, cluster=cluster)
 
 
 # ----------------------------------------------------------------------
@@ -197,8 +226,56 @@ def make_case(campaign_seed: int, index: int) -> FuzzCase:
         timeout=timeout,
         max_events=_event_budget(workload),
     )
+
+    # cluster dimension LAST: every draw above is untouched, so a case
+    # that stays single-machine is byte-identical to pre-cluster fuzz
+    cluster, cluster_plan = _cluster_case(
+        rng, plan, int(arrivals.max()), int(cpu.sum()), n_cores)
+    if cluster is not None and cluster_plan is not plan:
+        config = replace(config, faults=cluster_plan)
     return FuzzCase(campaign_seed=campaign_seed, index=index,
-                    workload=workload, config=config)
+                    workload=workload, config=config, cluster=cluster)
+
+
+def _cluster_case(
+    rng: np.random.Generator,
+    plan: Optional[FaultPlan],
+    last_arrival: int,
+    total_cpu: int,
+    n_cores: int,
+) -> Tuple[Optional["ClusterCase"], Optional[FaultPlan]]:
+    """~15% of cases run through the resilient cluster tier.
+
+    Half of those get a correlated domain outage: the hosts are split
+    into two racks and the rack *without* host 0 fails for a window —
+    host 0 may already be a straggler in the plan, and a host cannot be
+    both degraded and dead (FaultPlan rejects the contradiction).
+    Returns ``(cluster, plan)`` with the plan possibly extended.
+    """
+    if rng.random() >= 0.15:
+        return None, plan
+    n_hosts = int(rng.integers(2, 5))
+    scheduler = str(rng.choice(("cfs", "sfs")))
+    hedge = bool(rng.random() < 0.5)
+    if rng.random() < 0.5:
+        # rack 0 keeps host 0 (and stays up); rack 1 takes the outage
+        keep = max(1, n_hosts // 2)
+        domains = (tuple(range(keep)), tuple(range(keep, n_hosts)))
+        horizon = max(1, last_arrival + total_cpu // max(1, n_cores))
+        down_at = int(rng.integers(0, max(1, horizon // 2)))
+        up_at = down_at + 1 + int(rng.integers(0, max(1, horizon // 2)))
+        outage = ((1, down_at, up_at),)
+        if plan is None:
+            plan = FaultPlan(seed=int(rng.integers(0, 2**31)),
+                             fault_domains=domains, domain_failures=outage)
+        else:
+            plan = replace(plan, fault_domains=domains,
+                           domain_failures=outage)
+    elif plan is None and rng.random() < 0.5:
+        # no outage: still give the cluster something to retry against
+        plan = FaultPlan(seed=int(rng.integers(0, 2**31)), crash_prob=0.2)
+    return ClusterCase(n_hosts=n_hosts, scheduler=scheduler,
+                       hedge=hedge), plan
 
 
 def _event_budget(workload: Workload) -> int:
@@ -218,4 +295,5 @@ def plan_component_count(plan: Optional[FaultPlan]) -> int:
         + int(plan.coldstart_fail_prob > 0)
         + len(plan.stragglers)
         + len(plan.host_failures)
+        + len(plan.domain_failures)
     )

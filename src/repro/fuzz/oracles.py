@@ -34,8 +34,16 @@ asserted on configurations where it mathematically holds:
 * **reconstruction** — replay with tracing on and require that every
   request's causal timeline (:mod:`repro.why`) partitions its
   ``[arrival, finish]`` window *exactly* (the ``why-exact-sum``
-  oracle).  Applies to every case: the generator only draws schedulers
-  that emit the full ``task.*`` lifecycle.
+  oracle).  Applies to every single-machine case: the generator only
+  draws schedulers that emit the full ``task.*`` lifecycle.
+
+* **cluster** — cases carrying a :class:`ClusterCase` run through the
+  fault-tolerant serving tier instead (``cluster-exactly-once``):
+  health-checked failover, hedged requests and domain outages must
+  still deliver exactly one terminal outcome per request, enforced by
+  the invariant checker's accounting closure on the merged records.
+  All other oracles gate on ``case.cluster is None`` — their properties
+  are stated for a single shared machine.
 
 Slack constants for the inexact properties are calibrated by running a
 large campaign against the healthy tree: they are as tight as the
@@ -137,7 +145,8 @@ def _check_invariant(case: FuzzCase) -> Optional[Violation]:
 def _engines_applies(case: FuzzCase) -> bool:
     cfg = case.config
     return (
-        cfg.machine.fair_class == "cfs"
+        case.cluster is None
+        and cfg.machine.fair_class == "cfs"
         and cfg.timeout is None
         and cfg.admission is None
     )
@@ -179,7 +188,7 @@ def _check_engines(case: FuzzCase) -> Optional[Violation]:
 
 
 def _ideal_applies(case: FuzzCase) -> bool:
-    return not case.config.fault_handling
+    return case.cluster is None and not case.config.fault_handling
 
 
 def _check_ideal(case: FuzzCase) -> Optional[Violation]:
@@ -198,7 +207,8 @@ def _check_ideal(case: FuzzCase) -> Optional[Violation]:
 # metamorphic family
 # ----------------------------------------------------------------------
 def _fluid_cfs(case: FuzzCase) -> bool:
-    return case.config.engine == "fluid" and case.config.scheduler == "cfs"
+    return (case.cluster is None and case.config.engine == "fluid"
+            and case.config.scheduler == "cfs")
 
 
 def _idle_hosts_applies(case: FuzzCase) -> bool:
@@ -287,7 +297,8 @@ def _check_scaling(case: FuzzCase) -> Optional[Violation]:
 
 
 def _drop_fault_applies(case: FuzzCase) -> bool:
-    return (case.config.faults is not None
+    return (case.cluster is None
+            and case.config.faults is not None
             and case.config.timeout is None
             and case.config.admission is None)
 
@@ -412,17 +423,74 @@ def _check_why_exact_sum(case: FuzzCase) -> Optional[Violation]:
 
 
 # ----------------------------------------------------------------------
+# cluster family
+# ----------------------------------------------------------------------
+def run_cluster_case(case: FuzzCase, invariants: bool = True):
+    """Replay a cluster case through the resilient serving tier.
+
+    The single-machine config supplies the per-host deployment (machine,
+    engine, fault plan, policies); the :class:`ClusterCase` supplies the
+    shape.  Failover is always on — it is the subsystem under test —
+    and hedging follows the case's draw.
+    """
+    from repro.faas.cluster import ClusterConfig, run_cluster
+    from repro.faas.openlambda import OpenLambdaConfig
+    from repro.faas.resilience import HedgePolicy, ResilienceConfig
+
+    cfg = case.config
+    cl = case.cluster
+    host = OpenLambdaConfig(
+        machine=cfg.machine,
+        scheduler=cl.scheduler,
+        engine=cfg.engine,
+        faults=cfg.faults,
+        retry=cfg.retry,
+        admission=cfg.admission,
+        timeout=cfg.timeout,
+    )
+    resilience = ResilienceConfig(
+        hedge=HedgePolicy(delay=20_000) if cl.hedge else None,
+    )
+    return run_cluster(
+        case.workload,
+        ClusterConfig(n_hosts=cl.n_hosts, host=host,
+                      placement="least_loaded", resilience=resilience),
+        invariants=invariants,
+    )
+
+
+def _check_cluster_exactly_once(case: FuzzCase) -> Optional[Violation]:
+    """Exactly one terminal outcome per request, under failover,
+    hedging, domain outages and retry — the accounting closure inside
+    :func:`repro.faas.cluster.run_cluster` (invariants forced on) plus
+    the fault-closure counter cross-checks."""
+    name = "cluster-exactly-once"
+    try:
+        run_cluster_case(case, invariants=True)
+    except InvariantViolation as exc:
+        return Violation(name, str(exc))
+    except SimulationError as exc:
+        return Violation(name, f"simulation aborted: {exc}")
+    except RuntimeError as exc:
+        return Violation(name, f"run failed: {exc}")
+    return None
+
+
+# ----------------------------------------------------------------------
 # registry
 # ----------------------------------------------------------------------
 ORACLES: Tuple[Oracle, ...] = (
-    Oracle("invariant", lambda case: True, _check_invariant),
+    Oracle("invariant", lambda case: case.cluster is None, _check_invariant),
     Oracle("differential-engines", _engines_applies, _check_engines),
     Oracle("differential-ideal", _ideal_applies, _check_ideal),
     Oracle("metamorphic-idle-hosts", _idle_hosts_applies, _check_idle_hosts),
     Oracle("metamorphic-scaling", _scaling_applies, _check_scaling),
     Oracle("metamorphic-drop-fault", _drop_fault_applies, _check_drop_fault),
     Oracle("metamorphic-permute", _permute_applies, _check_permute),
-    Oracle("why-exact-sum", lambda case: True, _check_why_exact_sum),
+    Oracle("why-exact-sum", lambda case: case.cluster is None,
+           _check_why_exact_sum),
+    Oracle("cluster-exactly-once", lambda case: case.cluster is not None,
+           _check_cluster_exactly_once),
 )
 
 ORACLE_BY_NAME: Dict[str, Oracle] = {o.name: o for o in ORACLES}

@@ -113,7 +113,9 @@ def _shrink_plan(case: FuzzCase, oracle: Oracle, budget: _Budget) -> FuzzCase:
     if cfg.faults is not None:
         for field_, null in (("crash_prob", 0.0),
                              ("coldstart_fail_prob", 0.0),
-                             ("stragglers", ())):
+                             ("stragglers", ()),
+                             ("host_failures", ()),
+                             ("domain_failures", ())):
             if getattr(cfg.faults, field_):
                 reduced = replace(cfg.faults, **{field_: null})
                 faults = None if reduced.is_null else reduced
@@ -127,6 +129,29 @@ def _shrink_plan(case: FuzzCase, oracle: Oracle, budget: _Budget) -> FuzzCase:
             case = _try(case, case.with_config(
                 replace(cfg, **{field_: None})), oracle, budget)
             cfg = case.config
+    return case
+
+
+def _shrink_cluster(case: FuzzCase, oracle: Oracle,
+                    budget: _Budget) -> FuzzCase:
+    """Fold the cluster dimension toward its floor: hedging off, then
+    two hosts.  Dropping the cluster entirely would flip the case out
+    of the cluster oracle's applicability gate, so ``_still_fails``
+    rejects that candidate automatically — no special-casing needed."""
+    if case.cluster is None:
+        return case
+    case = _try(case, case.with_cluster(None), oracle, budget)
+    if case.cluster is None:
+        return case
+    if case.cluster.hedge:
+        case = _try(case, case.with_cluster(
+            replace(case.cluster, hedge=False)), oracle, budget)
+    while case.cluster.n_hosts > 2 and not budget.exhausted:
+        fewer = replace(case.cluster, n_hosts=case.cluster.n_hosts - 1)
+        smaller = _try(case, case.with_cluster(fewer), oracle, budget)
+        if smaller is case:
+            break
+        case = smaller
     return case
 
 
@@ -203,6 +228,7 @@ def shrink_case(
         return case  # not reproducible — nothing to shrink
     for name, stage in (
         ("requests", _ddmin_requests),
+        ("cluster", _shrink_cluster),
         ("fault-plan", _shrink_plan),
         ("config", _shrink_config),
         ("durations", _shrink_durations),

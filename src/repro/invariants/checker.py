@@ -348,16 +348,24 @@ class InvariantChecker(NullChecker):
         Every arrival must appear in the records exactly once; statuses
         must partition the arrivals; when a fault governor ran, its
         aggregate counters must agree with the per-request outcomes.
+        This is the cluster's *exactly-once* guarantee: no matter how
+        attempts were retried, failed over or hedged, each request ends
+        with one terminal status and one record.
         """
         self._count("no-lost-tasks")
+        self._count("exactly-once")
         want = sorted(spec.req_id for spec in workload)
         got = sorted(r.req_id for r in records)
         if want != got:
             missing = sorted(set(want) - set(got))[:5]
             extra = sorted(set(got) - set(want))[:5]
             dupes = len(got) - len(set(got))
+            # a duplicated req_id means a request ended with more than
+            # one terminal outcome — the exactly-once guarantee broke
+            # (a hedge loser or failover ghost produced its own record)
+            name = "exactly-once" if dupes else "no-lost-tasks"
             self._fail(
-                "no-lost-tasks",
+                name,
                 f"records do not cover arrivals exactly once: "
                 f"{len(want)} arrivals, {len(got)} records "
                 f"(missing {missing}, unexpected {extra}, {dupes} duplicated)",
@@ -365,7 +373,8 @@ class InvariantChecker(NullChecker):
         by_status: Dict[str, int] = {}
         for r in records:
             by_status[r.status] = by_status.get(r.status, 0) + 1
-            if r.status not in ("ok", "failed", "timeout", "shed"):
+            if r.status not in ("ok", "failed", "timeout", "shed",
+                                "host_lost"):
                 self._fail("fault-closure",
                            f"unknown terminal status {r.status!r}",
                            req_id=r.req_id)
@@ -401,12 +410,31 @@ class InvariantChecker(NullChecker):
                 f"governor abandoned {fault_stats.get('abandoned', 0)} but "
                 f"records show {by_status.get('failed', 0)} failed",
             )
-        retries = sum(max(0, r.attempts - 1) for r in records)
-        if retries > fault_stats.get("retries", 0):
+        if by_status.get("host_lost", 0) != fault_stats.get("host_lost", 0):
             self._fail(
                 "fault-closure",
-                f"records imply >= {retries} retries but the governor "
-                f"scheduled {fault_stats.get('retries', 0)}",
+                f"governor lost {fault_stats.get('host_lost', 0)} requests "
+                f"to failed hosts but records show "
+                f"{by_status.get('host_lost', 0)} host_lost",
+            )
+        if fault_stats.get("hedge_wins", 0) > fault_stats.get("hedges", 0):
+            self._fail(
+                "fault-closure",
+                f"{fault_stats.get('hedge_wins', 0)} hedge wins exceed "
+                f"{fault_stats.get('hedges', 0)} hedges launched",
+            )
+        # every attempt beyond a request's first was paid for by a
+        # scheduled retry, a failover re-dispatch or a hedge launch
+        retries = sum(max(0, r.attempts - 1) for r in records)
+        budget = (fault_stats.get("retries", 0)
+                  + fault_stats.get("failovers", 0)
+                  + fault_stats.get("hedges", 0))
+        if retries > budget:
+            self._fail(
+                "fault-closure",
+                f"records imply >= {retries} extra attempts but the "
+                f"governor paid for {budget} (retries + failovers + "
+                f"hedges)",
             )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -37,7 +37,8 @@ class RequestRecord:
     bypassed: bool          # overload detector left it in CFS
     demoted: bool           # FILTER slice expired
     slice_granted: Optional[int]  # S at first FILTER promotion
-    #: terminal outcome: "ok" | "failed" | "timeout" | "shed"
+    #: terminal outcome:
+    #: "ok" | "failed" | "timeout" | "shed" | "host_lost"
     status: str = "ok"
     #: attempts started (0 = shed before any attempt)
     attempts: int = 1
@@ -92,10 +93,17 @@ def build_records(
     if faults is None:
         return [_record(spec, task) for spec, task in pairs]
     last: Dict[int, Tuple[RequestSpec, Task]] = {}
-    for spec, task in pairs:  # chronological: later attempts overwrite
+    for spec, task in pairs:
         if not task.finished:
             raise RuntimeError(f"request {spec.req_id} never finished")
-        last[spec.req_id] = (spec, task)
+        if task.kill_reason == "hedge":
+            continue  # cancelled hedge loser; the winner's pair counts
+        # the latest-finishing attempt describes the outcome.  (List
+        # order is per-host, not chronological, once a cluster routes
+        # retries/failovers across hosts — so compare timestamps.)
+        prev = last.get(spec.req_id)
+        if prev is None or task.finish_time >= prev[1].finish_time:
+            last[spec.req_id] = (spec, task)
     records = []
     for req_id in sorted(last):
         spec, task = last[req_id]

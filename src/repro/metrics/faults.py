@@ -32,12 +32,13 @@ class FaultSummary:
 
     total: int          # every arriving request, any outcome
     ok: int
-    failed: int         # retries exhausted (crash / host loss)
+    failed: int         # retries exhausted (crash / provisioning)
     timeout: int        # deadline expired
     shed: int           # rejected at admission
     attempts: int       # attempts started across all requests
     throughput_rps: float
     goodput_rps: float
+    host_lost: int = 0  # died with a failed host, no failover left
 
     @property
     def goodput_fraction(self) -> float:
@@ -54,8 +55,11 @@ class FaultSummary:
 
     @property
     def abandonment_rate(self) -> float:
-        """Requests that died without a response (failed + timeout)."""
-        return (self.failed + self.timeout) / self.total if self.total else 0.0
+        """Requests that died without a response (failed + timeout +
+        host_lost)."""
+        if not self.total:
+            return 0.0
+        return (self.failed + self.timeout + self.host_lost) / self.total
 
     @property
     def shed_rate(self) -> float:
@@ -66,7 +70,8 @@ def summarize_faults(
     records: Iterable[RequestRecord], sim_time: int
 ) -> FaultSummary:
     """Aggregate outcome counters over ``records`` (``sim_time`` in us)."""
-    counts = {"ok": 0, "failed": 0, "timeout": 0, "shed": 0}
+    counts = {"ok": 0, "failed": 0, "timeout": 0, "shed": 0,
+              "host_lost": 0}
     attempts = 0
     total = 0
     for r in records:
@@ -84,6 +89,7 @@ def summarize_faults(
         attempts=attempts,
         throughput_rps=finished / seconds if seconds else 0.0,
         goodput_rps=counts["ok"] / seconds if seconds else 0.0,
+        host_lost=counts["host_lost"],
     )
 
 

@@ -53,6 +53,13 @@ GAUGE_METRICS: Dict[str, Tuple[str, str, bool]] = {
     tev.GAUGE_OUTSTANDING: (
         "repro_outstanding_requests", "invocations in flight on the platform",
         True),
+    tev.GAUGE_UNHEALTHY: (
+        "repro_cluster_unhealthy_hosts",
+        "hosts the dispatcher's health view excludes from placement",
+        False),
+    tev.GAUGE_RETRY_TOKENS: (
+        "repro_cluster_retry_tokens",
+        "whole tokens left in the global retry budget", False),
 }
 
 

@@ -28,16 +28,25 @@ class SimulationError(RuntimeError):
 
 
 class EventHandle:
-    """A scheduled callback; hold on to it if you may need to cancel."""
+    """A scheduled callback; hold on to it if you may need to cancel.
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    ``daemon`` marks housekeeping timers (gauge samplers, health
+    pollers) that observe the run rather than drive it: they execute
+    normally but are excluded from :attr:`Simulator.pending_work`, so
+    two self-rearming daemons cannot keep each other — and the run —
+    alive forever.
+    """
 
-    def __init__(self, time: int, seq: int, callback: Callable[..., Any], args: tuple):
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "daemon")
+
+    def __init__(self, time: int, seq: int, callback: Callable[..., Any],
+                 args: tuple, daemon: bool = False):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.daemon = daemon
 
     def cancel(self) -> None:
         """Prevent the callback from firing.  Safe to call repeatedly."""
@@ -136,22 +145,28 @@ class Simulator:
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
-    def schedule_at(self, time: int, callback: Callable[..., Any], *args: Any) -> EventHandle:
-        """Schedule ``callback(*args)`` at absolute virtual time ``time``."""
+    def schedule_at(self, time: int, callback: Callable[..., Any], *args: Any,
+                    daemon: bool = False) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute virtual time ``time``.
+
+        ``daemon=True`` marks a housekeeping timer excluded from
+        :attr:`pending_work` (see :class:`EventHandle`)."""
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule event at t={time} before now={self.now}"
             )
         self._seq += 1
-        handle = EventHandle(int(time), self._seq, callback, args)
+        handle = EventHandle(int(time), self._seq, callback, args, daemon)
         heapq.heappush(self._heap, (handle.time, handle.seq, handle))
         return handle
 
-    def schedule(self, delay: int, callback: Callable[..., Any], *args: Any) -> EventHandle:
+    def schedule(self, delay: int, callback: Callable[..., Any], *args: Any,
+                 daemon: bool = False) -> EventHandle:
         """Schedule ``callback(*args)`` after ``delay`` microseconds."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        return self.schedule_at(self.now + int(delay), callback, *args)
+        return self.schedule_at(self.now + int(delay), callback, *args,
+                                daemon=daemon)
 
     # ------------------------------------------------------------------
     # execution
@@ -238,6 +253,16 @@ class Simulator:
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued."""
         return sum(1 for _, _, h in self._heap if not h.cancelled)
+
+    @property
+    def pending_work(self) -> int:
+        """Live events that *drive* the run — daemon housekeeping
+        timers excluded.  Self-rearming daemons must gate on this, not
+        on :attr:`pending`, or any two of them would keep each other
+        alive after the real work has drained."""
+        return sum(
+            1 for _, _, h in self._heap if not h.cancelled and not h.daemon
+        )
 
     def _drop_dead(self) -> None:
         heap = self._heap

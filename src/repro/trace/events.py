@@ -86,7 +86,16 @@ FAULT_HOST_DOWN = "fault.host_down"  # host failed (core = host index)
 FAULT_HOST_UP = "fault.host_up"      # host recovered (core = host index)
 RETRY_BACKOFF = "retry.backoff"      # attempt failed; retry scheduled
 RETRY_EXHAUSTED = "retry.exhausted"  # attempts capped out; abandoned
+RETRY_THROTTLED = "retry.throttled"  # retry denied by the global budget
 SHED_REQUEST = "shed.request"        # admission control rejected it
+
+# --- cluster resilience (repro.faas.resilience) -------------------------
+HEALTH_DOWN = "health.down"          # dispatcher marked host unhealthy
+HEALTH_UP = "health.up"              # dispatcher marked host healthy
+FAILOVER_REDISPATCH = "failover.redispatch"  # stranded attempt re-placed
+HEDGE_LAUNCH = "hedge.launch"        # backup attempt dispatched
+HEDGE_WIN = "hedge.win"              # hedge race decided
+HEDGE_CANCEL = "hedge.cancel"        # losing attempt killed (tid = loser)
 
 # --- SFS decisions (repro.core) ---------------------------------------
 SFS_SUBMIT = "sfs.submit"            # fresh request entered the global queue
@@ -114,6 +123,8 @@ GAUGE_WATCH_LIST = "gauge.watch_list"      # SFS watch-list size
 GAUGE_BUSY_WORKERS = "gauge.busy_workers"  # occupied FILTER workers
 GAUGE_KEEPALIVE = "gauge.keepalive"        # warm containers cached
 GAUGE_OUTSTANDING = "gauge.outstanding"    # invocations in flight
+GAUGE_UNHEALTHY = "gauge.unhealthy_hosts"  # hosts the dispatcher avoids
+GAUGE_RETRY_TOKENS = "gauge.retry_tokens"  # retry-budget bucket level
 
 #: payload slot names per kind (tuples zip positionally with ``args``).
 EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
@@ -144,7 +155,14 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     FAULT_HOST_UP: (),
     RETRY_BACKOFF: ("req_id", "attempt", "delay"),
     RETRY_EXHAUSTED: ("req_id", "attempts"),
+    RETRY_THROTTLED: ("req_id", "attempt"),
     SHED_REQUEST: ("req_id", "depth"),
+    HEALTH_DOWN: (),
+    HEALTH_UP: (),
+    FAILOVER_REDISPATCH: ("req_id", "from_host", "to_host"),
+    HEDGE_LAUNCH: ("req_id", "primary_host", "backup_host"),
+    HEDGE_WIN: ("req_id", "winner"),
+    HEDGE_CANCEL: ("req_id",),
     GAUGE_RUNNABLE: ("value",),
     GAUGE_IDLE_CORES: ("value",),
     GAUGE_RUNQUEUE: ("value",),
@@ -156,6 +174,8 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     GAUGE_BUSY_WORKERS: ("value",),
     GAUGE_KEEPALIVE: ("value",),
     GAUGE_OUTSTANDING: ("value",),
+    GAUGE_UNHEALTHY: ("value",),
+    GAUGE_RETRY_TOKENS: ("value",),
 }
 
 #: kinds that open / close the per-core on-CPU span pairing.

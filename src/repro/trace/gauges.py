@@ -59,7 +59,10 @@ def attach_gauge_sampler(sim, machine: Optional[object] = None,
         now = sim.now
         for src in sources:
             src.sample_gauges(sink, now)
-        if sim.pending > 0:  # rearm only while the run is still live
-            sim.schedule(interval, sample)
+        # rearm only while the run is still live; gate on pending_work
+        # so another daemon timer (the cluster health poller) cannot
+        # keep the sampler alive after the real work drained
+        if sim.pending_work > 0:
+            sim.schedule(interval, sample, daemon=True)
 
-    sim.schedule(interval, sample)
+    sim.schedule(interval, sample, daemon=True)

@@ -36,10 +36,13 @@ def blame_totals(timelines: Mapping[int, RequestTimeline]) -> dict:
     by_kind: Dict[str, int] = {}
     by_reason: Dict[str, int] = {}
     by_actor: Dict[str, int] = {}
+    hedged: Dict[str, int] = {}
     total = 0
     e2e = 0
     for tl in timelines.values():
         e2e += tl.end_to_end
+        if tl.hedge:
+            hedged[tl.hedge] = hedged.get(tl.hedge, 0) + 1
         for seg in tl.segments:
             if seg.kind not in BLAME_KINDS:
                 continue
@@ -49,7 +52,7 @@ def blame_totals(timelines: Mapping[int, RequestTimeline]) -> dict:
             by_reason[key] = by_reason.get(key, 0) + seg.dur
             if seg.actor:
                 by_actor[seg.actor] = by_actor.get(seg.actor, 0) + seg.dur
-    return {
+    doc = {
         "blamed_us": total,
         "end_to_end_us": e2e,
         "requests": len(timelines),
@@ -57,6 +60,9 @@ def blame_totals(timelines: Mapping[int, RequestTimeline]) -> dict:
         "by_reason": dict(sorted(by_reason.items())),
         "by_actor": dict(sorted(by_actor.items())),
     }
+    if hedged:  # key only appears in hedged runs (byte-compat)
+        doc["hedged"] = dict(sorted(hedged.items()))
+    return doc
 
 
 def blame_flame(timelines: Mapping[int, RequestTimeline]) -> dict:
@@ -115,7 +121,7 @@ def build_why_doc(
     keep = order if top_blamed <= 0 else order[:top_blamed]
     requests = {}
     for tl in keep:
-        requests[str(tl.req_id)] = {
+        entry = {
             "name": tl.name,
             "app": tl.app,
             "status": tl.status,
@@ -127,6 +133,9 @@ def build_why_doc(
             "exact": tl.exact,
             "segments": [s.to_dict() for s in tl.segments],
         }
+        if tl.hedge:  # key only appears for hedged requests
+            entry["hedge"] = tl.hedge
+        requests[str(tl.req_id)] = entry
     return {
         "schema": WHY_SCHEMA,
         "totals": blame_totals(timelines),

@@ -75,6 +75,9 @@ class RequestTimeline:
     arrival: int
     finish: int
     segments: Tuple[Segment, ...]
+    #: hedge-race outcome: "" (not hedged), "primary-won",
+    #: "backup-won", or "no-win" (both chains died)
+    hedge: str = ""
 
     @property
     def end_to_end(self) -> int:
@@ -170,6 +173,9 @@ def build_timelines(
     coldstarts: Dict[int, List[int]] = {}          # req -> [ts, ...]
     crashed: Dict[int, int] = {}                   # tid -> ts
     timed_out: Dict[int, int] = {}                 # tid -> ts
+    hedge_launch: Dict[int, int] = {}              # req -> launch ts
+    hedge_win: Dict[int, Tuple[int, str]] = {}     # req -> (tid, who)
+    cancelled = set()                              # hedge-loser tids
     for e in events:
         k = e.kind
         if k == tev.TASK_SPAWN:
@@ -183,6 +189,12 @@ def build_timelines(
             crashed[e.tid] = e.ts
         elif k == tev.FAULT_TIMEOUT:
             timed_out[e.tid] = e.ts
+        elif k == tev.HEDGE_LAUNCH:
+            hedge_launch[e.args[0]] = e.ts
+        elif k == tev.HEDGE_WIN:
+            hedge_win[e.args[0]] = (e.tid, e.args[1])
+        elif k == tev.HEDGE_CANCEL:
+            cancelled.add(e.tid)
 
     displaced = audit.by_displaced() if audit is not None else {}
 
@@ -191,11 +203,39 @@ def build_timelines(
         segs: List[Segment] = []
         cursor = rec.arrival
         cold = coldstarts.get(rec.req_id, ())
-        attempts = spawns.get(rec.req_id, [])
+        attempts = [a for a in spawns.get(rec.req_id, [])
+                    if a[1] not in cancelled]
+        hedge = ""
+        if rec.req_id in hedge_win:
+            # a hedge race was decided: the winning chain *is* the
+            # request's latency story — walk only it, and charge the
+            # pre-spawn gap of a backup win to a retry/"hedge" segment
+            # from the launch instant onward.
+            win_tid, who = hedge_win[rec.req_id]
+            hedge = f"{who}-won"
+            attempts = [a for a in attempts if a[1] == win_tid]
+            if who == "backup" and attempts:
+                launch = hedge_launch.get(rec.req_id, -1)
+                spawn_ts = attempts[0][0]
+                if cursor < launch < spawn_ts:
+                    segs.append(Segment(cursor, launch - cursor,
+                                        "queue", "dispatch"))
+                    segs.append(Segment(launch, spawn_ts - launch,
+                                        "retry", "hedge"))
+                    cursor = spawn_ts
+        elif rec.req_id in hedge_launch:
+            hedge = "no-win"  # both chains died; fall through sequential
         fail_reason = ""
-        for i, (spawn_ts, tid) in enumerate(attempts):
-            segs.extend(_gap_segments(cursor, spawn_ts, i == 0,
+        first = True
+        for spawn_ts, tid in attempts:
+            if spawn_ts < cursor:
+                # overlapping chain of an undecided hedge race: the
+                # other chain already carried the cursor past this
+                # spawn, so its story is not on the critical path
+                continue
+            segs.extend(_gap_segments(cursor, spawn_ts, first,
                                       fail_reason, cold))
+            first = False
             cursor, fail_reason = _walk_attempt(
                 by_tid.get(tid, ()), spawn_ts, tid, crashed, timed_out,
                 displaced, segs)
@@ -215,6 +255,7 @@ def build_timelines(
             status=rec.status, attempts=rec.attempts,
             arrival=rec.arrival, finish=rec.finish,
             segments=tuple(segs),
+            hedge=hedge,
         )
     return out
 

@@ -61,6 +61,7 @@ def test_registry_covers_every_paper_artifact():
         "table1", "table2", "headline", "sensitivity", "ablations",
         "ext-slo", "ext-coldstart", "ext-eevdf", "ext-predictive",
         "ext-cluster", "ext-billing", "chaos", "replay",
+        "ext-resilience",
     }
     assert set(REGISTRY) == expected
 

@@ -10,6 +10,7 @@ from repro.faas.cluster import ClusterConfig, run_cluster
 from repro.faas.openlambda import OpenLambdaConfig, run_openlambda
 from repro.faults import (
     STATUS_FAILED,
+    STATUS_HOST_LOST,
     STATUS_OK,
     STATUS_SHED,
     STATUS_TIMEOUT,
@@ -132,12 +133,40 @@ def test_backoff_jitters_across_requests():
     assert len(delays) > 15  # decorrelated jitter actually spreads
 
 
+def test_backoff_is_pure_across_instances_and_call_order():
+    """The delay is a function of (seed, req_id, attempt) alone: a
+    freshly built policy agrees with a heavily used one, and querying
+    attempts out of order changes nothing (no hidden stream state)."""
+    a = RetryPolicy(max_attempts=5, base_backoff=1000, max_backoff=50_000,
+                    seed=7)
+    want = {(req, att): a.backoff(req, att)
+            for req in range(5) for att in (1, 2, 3, 4)}
+    b = RetryPolicy(max_attempts=5, base_backoff=1000, max_backoff=50_000,
+                    seed=7)
+    for (req, att) in sorted(want, key=lambda k: (-k[1], k[0])):
+        assert b.backoff(req, att) == want[(req, att)]
+    # a different seed moves the jitter
+    c = RetryPolicy(max_attempts=5, base_backoff=1000, max_backoff=50_000,
+                    seed=8)
+    assert any(c.backoff(req, 2) != want[(req, 2)] for req in range(5))
+
+
 def test_admission_watermark():
     ac = AdmissionControl(max_outstanding=4)
     assert ac.admits(3)
     assert not ac.admits(4)
     with pytest.raises(ValueError):
         AdmissionControl(max_outstanding=0)
+
+
+def test_admission_boundary_exact():
+    """The watermark is exclusive: outstanding == limit sheds, one
+    below admits — at every limit down to the degenerate 1."""
+    for limit in (1, 2, 256):
+        ac = AdmissionControl(max_outstanding=limit)
+        assert ac.admits(limit - 1)
+        assert not ac.admits(limit)
+        assert not ac.admits(limit + 1)
 
 
 # ----------------------------------------------------------------------
@@ -429,7 +458,8 @@ def test_cluster_survives_host_failure_window():
     assert stats["crashes"] > 0
     # every record reached a terminal status
     assert all(r.status in (STATUS_OK, STATUS_FAILED, STATUS_TIMEOUT,
-                            STATUS_SHED) for r in a.records)
+                            STATUS_SHED, STATUS_HOST_LOST)
+               for r in a.records)
 
 
 def test_cluster_rejects_failure_of_unknown_host():

@@ -79,8 +79,12 @@ def test_healthy_tree_fuzzes_clean():
     assert summary.n_findings == 0, summary.render()
     assert summary.n_timeouts == 0
     assert summary.n_clean == 25
-    # every oracle family got exercised by the generator's biases
-    assert summary.applicable["invariant"] == 25
+    # every oracle family got exercised by the generator's biases;
+    # every case gets a conservation-law oracle: single-machine cases
+    # the invariant replay, cluster cases the exactly-once closure
+    assert (summary.applicable["invariant"]
+            + summary.applicable["cluster-exactly-once"]) == 25
+    assert summary.applicable["cluster-exactly-once"] > 0
     assert summary.applicable["differential-engines"] > 0
     assert summary.applicable["metamorphic-drop-fault"] > 0
 
@@ -90,7 +94,7 @@ def test_oracle_gates_track_config():
     names = {o.name for o in applicable_oracles(nominal)}
     assert "differential-ideal" in names
     assert "metamorphic-drop-fault" not in names
-    faulted = make_case(0, 10)  # sfs/discrete with crash+straggler+retry
+    faulted = make_case(0, 54)  # sfs/discrete with crash+straggler+retry
     names = {o.name for o in applicable_oracles(faulted)}
     assert "metamorphic-drop-fault" in names
     assert "differential-ideal" not in names

@@ -156,10 +156,12 @@ def test_accounting_closure_catches_lost_request():
 
 
 def test_accounting_closure_catches_duplicate_request():
+    # a duplicated record means one request got two terminal outcomes —
+    # the exactly-once guarantee (not merely a lost task)
     wl, records = _run_with_records()
     with pytest.raises(InvariantViolation) as exc_info:
         InvariantChecker().check_accounting(wl, records + [records[0]])
-    assert exc_info.value.invariant == "no-lost-tasks"
+    assert exc_info.value.invariant == "exactly-once"
 
 
 def test_accounting_closure_catches_bogus_status():
